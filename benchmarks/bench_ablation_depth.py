@@ -1,0 +1,63 @@
+"""Ablation: reservation depth sweep (0 = no guarantee ... inf = dynamic).
+
+The paper's introduction notes production schedulers sit between
+aggressive and conservative by reserving for the first n queued jobs;
+this sweep walks that spectrum under the fairshare priority and shows the
+fairness/packing trade the nine named policies sample endpoints of.
+"""
+
+import math
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.engine import Engine, KillPolicy
+from repro.experiments.config import BenchConfig
+from repro.metrics.fairness import HybridFSTObserver, fairness_stats
+from repro.metrics.loc import LossOfCapacityObserver, loc_of
+from repro.metrics.standard import summarize
+from repro.sched.depthk import DepthKScheduler
+from repro.workload.generator import GeneratorConfig, generate_cplant_workload
+
+DEPTHS = (0, 1, 2, 4, 16, math.inf)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    cfg = BenchConfig.from_env()
+    return generate_cplant_workload(
+        GeneratorConfig(scale=min(cfg.scale, 0.2)), seed=cfg.seed
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep(trace):
+    out = {}
+    for depth in DEPTHS:
+        fst_obs, loc_obs = HybridFSTObserver(), LossOfCapacityObserver()
+        res = Engine(
+            Cluster(trace.system_size), DepthKScheduler(depth=depth),
+            trace.jobs, observers=[fst_obs, loc_obs],
+            kill_policy=KillPolicy.IF_NEEDED,
+        ).run()
+        out[depth] = (
+            fairness_stats(res.jobs, res.fst("hybrid")),
+            summarize(res),
+            loc_of(res),
+        )
+    return out
+
+
+def test_ablation_reservation_depth(benchmark, sweep, emit):
+    data = benchmark(lambda: {d: s[0].percent_unfair for d, s in sweep.items()})
+    lines = ["Ablation: reservation depth (fairshare priority)",
+             "depth  %unfair  avg_miss      TAT    LOC%"]
+    for d, (st, summ, loc) in sweep.items():
+        label = "inf" if math.isinf(d) else str(int(d))
+        lines.append(
+            f"{label:>5}  {100 * st.percent_unfair:6.2f}%  "
+            f"{st.average_miss_time:8,.0f}  {summ.avg_turnaround:8,.0f}  "
+            f"{100 * loc:5.2f}%"
+        )
+    emit("ablation_depth", "\n".join(lines))
+    assert len(data) == len(DEPTHS)

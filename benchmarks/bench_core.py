@@ -1,0 +1,45 @@
+"""Microbenchmarks for the hot data structures: the reservation profile
+(every backfilling decision) and the NumPy list scheduler (every hybrid
+FST evaluation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.listsched import ListScheduler
+from repro.core.profile import ReservationProfile
+
+rng = np.random.default_rng(0)
+N_OPS = 500
+STARTS = rng.uniform(0, 1e5, N_OPS)
+DURS = rng.uniform(60, 3600, N_OPS)
+NODES = rng.integers(1, 256, N_OPS)
+
+
+def profile_churn():
+    p = ReservationProfile(1024)
+    placed = []
+    for k in range(N_OPS):
+        s = p.earliest_fit(int(NODES[k]), float(DURS[k]), float(STARTS[k]))
+        p.reserve(s, s + float(DURS[k]), int(NODES[k]))
+        placed.append((s, s + float(DURS[k]), int(NODES[k])))
+        if k % 3 == 0 and placed:
+            s0, e0, n0 = placed.pop(0)
+            p.release(max(s0, p.times[0]), e0, n0)
+    return len(p)
+
+
+def listsched_churn():
+    ls = ListScheduler(1024)
+    for k in range(N_OPS):
+        ls.place(int(NODES[k]), float(DURS[k]), float(STARTS[k]))
+    return ls.makespan()
+
+
+def test_profile_fit_reserve_release(benchmark):
+    segments = benchmark(profile_churn)
+    assert segments > 0
+
+
+def test_list_scheduler_placement(benchmark):
+    makespan = benchmark(listsched_churn)
+    assert makespan > 0

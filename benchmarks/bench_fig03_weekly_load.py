@@ -1,0 +1,14 @@
+"""Figure 3: weekly offered load vs actual utilization."""
+
+from repro.experiments.figures import fig03_weekly_load, render_fig03
+
+
+def test_fig03_weekly_load(benchmark, suite, workload, emit, shape):
+    series = benchmark(fig03_weekly_load, suite["cplant24.nomax.all"], workload)
+    emit("fig03_weekly_load", render_fig03(series))
+    assert (series.utilization <= 1.0 + 1e-9).all()
+    if shape:
+        # the paper's signature load shape: overload weeks exist and
+        # high-load weeks push utilization up hard
+        assert series.offered_load.max() > 1.0
+        assert series.utilization.max() > 0.8

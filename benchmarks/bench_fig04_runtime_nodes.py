@@ -1,0 +1,14 @@
+"""Figure 4: the runtime x nodes scatter of the submitted jobs."""
+
+import numpy as np
+
+from repro.experiments.figures import fig04_runtime_vs_nodes, render_fig04
+
+
+def test_fig04_runtime_vs_nodes(benchmark, workload, emit):
+    data = benchmark(fig04_runtime_vs_nodes, workload)
+    emit("fig04_runtime_nodes", render_fig04(data))
+    # "standard" node allocations: powers of two dominate (Section 2.2)
+    nodes = data["nodes"].astype(int)
+    pow2 = np.mean((nodes & (nodes - 1)) == 0)
+    assert pow2 > 0.4

@@ -1,0 +1,16 @@
+"""Figure 5: user wall-clock estimates vs actual runtimes."""
+
+import numpy as np
+
+from repro.experiments.figures import fig05_estimates, render_fig05
+
+
+def test_fig05_estimates(benchmark, workload, emit):
+    data = benchmark(fig05_estimates, workload)
+    emit("fig05_estimates", render_fig05(data))
+    # most jobs overestimate; a small tail of killed/aborted jobs ran past
+    # their estimate (Section 2.2)
+    over = (data["wcl"] >= data["runtime"]).mean()
+    under = (data["wcl"] < 0.95 * data["runtime"]).mean()
+    assert over > 0.85
+    assert 0.0 < under < 0.1

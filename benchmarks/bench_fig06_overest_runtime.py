@@ -1,0 +1,18 @@
+"""Figure 6: the overestimation factor falls with runtime."""
+
+import numpy as np
+
+from repro.experiments.figures import (
+    fig06_overestimation_vs_runtime,
+    render_fig06,
+)
+
+
+def test_fig06_overestimation_vs_runtime(benchmark, workload, emit):
+    data = benchmark(fig06_overestimation_vs_runtime, workload)
+    emit("fig06_overest_runtime", render_fig06(data))
+    rt, f = data["runtime"], data["factor"]
+    ok = (rt > 0) & np.isfinite(f)
+    short = np.median(f[ok & (rt < 900)])
+    long_ = np.median(f[ok & (rt > 86_400)])
+    assert short > 2 * long_  # the wedge

@@ -1,0 +1,20 @@
+"""Figure 7: the overestimation factor is roughly unrelated to width."""
+
+import numpy as np
+
+from repro.experiments.figures import (
+    fig07_overestimation_vs_nodes,
+    render_fig07,
+)
+
+
+def test_fig07_overestimation_vs_nodes(benchmark, workload, emit):
+    data = benchmark(fig07_overestimation_vs_nodes, workload)
+    emit("fig07_overest_nodes", render_fig07(data))
+    nd, f = data["nodes"], data["factor"]
+    ok = np.isfinite(f) & (f > 0)
+    # medians across narrow/wide halves stay within a small factor of each
+    # other ("appears unrelated to the node selection")
+    narrow = np.median(f[ok & (nd <= 16)])
+    wide = np.median(f[ok & (nd > 16)])
+    assert max(narrow, wide) / min(narrow, wide) < 5.0

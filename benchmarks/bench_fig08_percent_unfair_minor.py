@@ -1,0 +1,19 @@
+"""Figure 8: percent of jobs missing their fair start time (minor changes).
+
+Paper shape: every enhanced policy reduces the percentage below the
+baseline; the three-modification combination reduces it the most.
+"""
+
+from repro.experiments.figures import fig08_percent_unfair_minor, render_fig08
+
+
+def test_fig08_percent_unfair_minor(benchmark, suite, emit, shape):
+    data = benchmark(fig08_percent_unfair_minor, suite)
+    emit("fig08_percent_unfair_minor", render_fig08(data))
+    assert all(0.0 <= v <= 1.0 for v in data.values())
+    if shape:
+        base = data["cplant24.nomax.all"]
+        assert data["cplant72.nomax.all"] < base
+        assert data["cplant24.nomax.fair"] < base
+        # the combination is among the best of the minor-change family
+        assert data["cplant72.72max.fair"] < base

@@ -1,0 +1,20 @@
+"""Figure 12: average turnaround time by width, minor-change policies.
+
+Paper shape: wide jobs carry far larger turnaround times than narrow
+ones under the baseline; the runtime limit improves wide-job progress.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import (
+    fig12_turnaround_by_width_minor,
+    render_fig12,
+)
+
+
+def test_fig12_turnaround_by_width_minor(benchmark, suite, emit, shape):
+    data = benchmark(fig12_turnaround_by_width_minor, suite)
+    emit("fig12_tat_by_width_minor", render_fig12(data))
+    if shape:
+        base = data["cplant24.nomax.all"]
+        assert np.nanmean(base[7:]) > np.nanmean(base[:4])

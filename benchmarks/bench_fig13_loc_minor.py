@@ -1,0 +1,17 @@
+"""Figure 13: loss of capacity, minor-change policies.
+
+Paper shape: the 72 h runtime limit improves (lowers) the loss of
+capacity relative to the baseline.
+"""
+
+from repro.experiments.figures import fig13_loc_minor, render_fig13
+
+
+def test_fig13_loc_minor(benchmark, suite, emit, shape):
+    data = benchmark(fig13_loc_minor, suite)
+    emit("fig13_loc_minor", render_fig13(data))
+    for v in data.values():
+        assert 0.0 <= v < 0.5
+    if shape:
+        base = data["cplant24.nomax.all"]
+        assert data["cplant24.72max.all"] < base * 1.05

@@ -1,0 +1,20 @@
+"""Figure 15: average miss time, all nine policies.
+
+Paper shape: conservative policies *without* runtime limits pay for their
+fewer unfair jobs with larger average miss times (consdyn.nomax is the
+outlier bar in the paper); adding the 72 h limit repairs this.
+"""
+
+from repro.experiments.figures import fig15_miss_time_all, render_fig15
+
+
+def test_fig15_miss_time_all(benchmark, suite, emit, shape):
+    data = benchmark(fig15_miss_time_all, suite)
+    emit("fig15_miss_time_all", render_fig15(data))
+    assert all(v >= 0.0 for v in data.values())
+    if shape:
+        # runtime limits lower the conservative-family miss times
+        assert data["cons.72max"] < data["cons.nomax"] * 1.2
+        assert data["consdyn.72max"] < data["consdyn.nomax"] * 1.1
+        # the dynamic no-limit policy misses hard when it misses
+        assert data["consdyn.nomax"] > data["cplant72.72max.fair"]

@@ -1,0 +1,19 @@
+"""Figure 16: average miss time by width, conservative comparison set.
+
+Paper shape: conservative backfilling reduces the unfairness of wide jobs
+relative to the baseline — "important as the supercomputers are purchased
+to efficiently run parallel code".
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig16_miss_by_width_cons, render_fig16
+
+
+def test_fig16_miss_by_width_cons(benchmark, suite, emit, shape):
+    data = benchmark(fig16_miss_by_width_cons, suite)
+    emit("fig16_miss_by_width_cons", render_fig16(data))
+    if shape:
+        base_wide = np.nansum(data["cplant24.nomax.all"][6:])
+        cons_wide = np.nansum(data["cons.72max"][6:])
+        assert cons_wide < base_wide * 1.5

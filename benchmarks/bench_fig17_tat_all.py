@@ -1,0 +1,19 @@
+"""Figure 17: average turnaround time, all nine policies.
+
+Paper shape: plain conservative scheduling often costs turnaround time;
+the 72 h limit's coarse preemption repairs it (cons.72max competitive).
+"""
+
+from repro.experiments.figures import fig17_turnaround_all, render_fig17
+
+
+def test_fig17_turnaround_all(benchmark, suite, emit, shape):
+    data = benchmark(fig17_turnaround_all, suite)
+    emit("fig17_tat_all", render_fig17(data))
+    assert all(v > 0.0 for v in data.values())
+    if shape:
+        base = data["cplant24.nomax.all"]
+        # the all-modifications baseline variant and the limited
+        # conservative schemes sit at or below the original scheduler
+        assert data["cplant72.72max.fair"] < base
+        assert data["consdyn.72max"] < base * 1.25

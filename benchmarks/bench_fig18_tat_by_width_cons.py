@@ -1,0 +1,24 @@
+"""Figure 18: turnaround time by width, conservative comparison set.
+
+Paper shape: wide jobs fare better under conservative reservations than
+under the reservation-free baseline.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import (
+    fig18_turnaround_by_width_cons,
+    render_fig18,
+)
+
+
+def test_fig18_turnaround_by_width_cons(benchmark, suite, emit, shape):
+    data = benchmark(fig18_turnaround_by_width_cons, suite)
+    emit("fig18_tat_by_width_cons", render_fig18(data))
+    for series in data.values():
+        assert series.shape == (11,)
+        assert np.nanmax(series) >= 0
+    if shape:
+        base_wide = np.nansum(data["cplant24.nomax.all"][6:])
+        cons_wide = np.nansum(data["cons.72max"][6:])
+        assert cons_wide < base_wide * 1.5

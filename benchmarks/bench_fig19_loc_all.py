@@ -1,0 +1,18 @@
+"""Figure 19: loss of capacity, all nine policies.
+
+Paper shape: the conservative scheme with 72 h limits packs best (lowest
+LOC of the conservative family); dynamic reservations without limits pay
+the largest LOC.
+"""
+
+from repro.experiments.figures import fig19_loc_all, render_fig19
+
+
+def test_fig19_loc_all(benchmark, suite, emit, shape):
+    data = benchmark(fig19_loc_all, suite)
+    emit("fig19_loc_all", render_fig19(data))
+    assert all(0.0 <= v < 1.0 for v in data.values())
+    if shape:
+        assert data["cons.72max"] < data["cons.nomax"]
+        assert data["consdyn.72max"] < data["consdyn.nomax"]
+        assert data["cons.72max"] < data["consdyn.nomax"]

@@ -1,0 +1,57 @@
+"""Cross-metric validation: the hybrid FST against CONS_P and Sabin FSTs.
+
+Section 4 motivates the hybrid metric as sitting *between* CONS_P (one
+global gold-standard schedule) and the Sabin/Sadayappan FST (the actual
+policy re-run without later arrivals).  This benchmark computes all three
+on one baseline-policy schedule (small trace — Sabin is O(n) simulations)
+and reports how their verdicts compare.
+"""
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.engine import Engine, KillPolicy
+from repro.metrics.fairness import (
+    HybridFSTObserver,
+    consp_fst,
+    fairness_stats,
+    sabin_fst,
+)
+from repro.sched.noguarantee import NoGuaranteeScheduler
+from repro.workload.generator import random_workload
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    # a small high-load trace (Sabin FST is O(n) full simulations); load
+    # 1.2 creates the queueing the metrics exist to judge
+    wl = random_workload(260, system_size=64, seed=11, load=1.2, n_users=8)
+    obs = HybridFSTObserver()
+    res = Engine(Cluster(wl.system_size), NoGuaranteeScheduler(), wl.jobs,
+                 observers=[obs], kill_policy=KillPolicy.NEVER).run()
+    return wl, res
+
+
+@pytest.fixture(scope="module")
+def verdicts(schedule):
+    wl, res = schedule
+    hybrid = fairness_stats(res.jobs, res.fst("hybrid"))
+    consp = fairness_stats(res.jobs, consp_fst(wl.jobs, wl.system_size))
+    sabin = fairness_stats(
+        res.jobs, sabin_fst(wl.jobs, wl.system_size, NoGuaranteeScheduler),
+    )
+    return {"hybrid": hybrid, "CONS_P": consp, "sabin": sabin}
+
+
+def test_metric_crosscheck(benchmark, verdicts, emit):
+    data = benchmark(lambda: {k: v.percent_unfair for k, v in verdicts.items()})
+    lines = ["Cross-metric comparison (baseline policy, 260-job high-load trace)",
+             f"{'metric':<10}{'%unfair':>9}{'avg miss':>11}"]
+    for name, st in verdicts.items():
+        lines.append(f"{name:<10}{100 * st.percent_unfair:>8.2f}%"
+                     f"{st.average_miss_time:>11,.0f}")
+    emit("metric_crosscheck", "\n".join(lines))
+    # every metric flags some unfairness on the no-guarantee baseline, and
+    # none of them flags everything
+    for st in verdicts.values():
+        assert 0.0 < st.percent_unfair < 0.9

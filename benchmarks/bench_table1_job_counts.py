@@ -1,0 +1,10 @@
+"""Table 1: number of jobs in each length/width category."""
+
+from repro.experiments.tables import render_table1, table1_job_counts
+
+
+def test_table1_job_counts(benchmark, workload, emit):
+    cmp = benchmark(table1_job_counts, workload)
+    emit("table1_job_counts", render_table1(cmp))
+    # the generator reproduces Table 1 cellwise (proportionally at scale<1)
+    assert cmp.l1_rel_error < 0.25

@@ -1,0 +1,9 @@
+"""Table 2: processor-hours in each length/width category."""
+
+from repro.experiments.tables import render_table2, table2_proc_hours
+
+
+def test_table2_proc_hours(benchmark, workload, emit):
+    cmp = benchmark(table2_proc_hours, workload)
+    emit("table2_proc_hours", render_table2(cmp))
+    assert cmp.l1_rel_error < 0.35

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""The CPlant compute process allocator (CPA) in action.
+
+The paper's abstract: "A separate compute process allocator (CPA) ensures
+that the jobs on the machines are not too fragmented in order to maximize
+throughput."  This example runs the baseline scheduling policy on a
+placement-aware cluster under four allocation strategies and reports how
+compact the resulting allocations are — the CPA's whole purpose.
+
+Run:  python examples/cpa_allocation.py
+"""
+
+from repro import GeneratorConfig, generate_cplant_workload
+from repro.alloc import (
+    BestFitAllocator,
+    FirstFitAllocator,
+    PlacedCluster,
+    RandomAllocator,
+    SpanMinimizingAllocator,
+    placement_stats,
+)
+from repro.core.engine import Engine, KillPolicy
+from repro.sched.noguarantee import NoGuaranteeScheduler
+
+
+def main() -> None:
+    workload = generate_cplant_workload(GeneratorConfig(scale=0.05), seed=3)
+    print(workload.describe())
+    print()
+
+    strategies = [
+        FirstFitAllocator(),
+        BestFitAllocator(),
+        SpanMinimizingAllocator(),
+        RandomAllocator(seed=1),
+    ]
+
+    print(f"{'strategy':<12}{'mean span':>11}{'p95 span':>10}"
+          f"{'%contiguous':>13}{'work-weighted':>15}")
+    for strategy in strategies:
+        cluster = PlacedCluster(workload.system_size, strategy)
+        Engine(cluster, NoGuaranteeScheduler(), workload.jobs,
+               kill_policy=KillPolicy.IF_NEEDED).run()
+        st = placement_stats(cluster.placements)
+        print(f"{strategy.name:<12}{st.mean_span_ratio:>11.2f}"
+              f"{st.p95_span_ratio:>10.2f}"
+              f"{100 * st.contiguous_fraction:>12.1f}%"
+              f"{st.work_weighted_span_ratio:>15.2f}")
+
+    print()
+    print("span ratio 1.0 = every allocation contiguous on the 1D node")
+    print("ordering; higher = fragmented jobs suffering cross-traffic.")
+    print("The scheduling metrics of the paper are placement-independent,")
+    print("which is why its simulator (and ours) defaults to counting only.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+"""repro — reproduction of *Parallel Job Scheduling Policies to Improve
+Fairness: A Case Study* (Leung, Sabin, Sadayappan; SAND2008-1310 / ICPP).
+
+Quickstart::
+
+    from repro import (
+        generate_cplant_workload, GeneratorConfig, run_policy,
+    )
+
+    wl = generate_cplant_workload(GeneratorConfig(scale=0.1), seed=1)
+    run = run_policy(wl, "cplant24.nomax.all")
+    print(run.summary)
+    print(run.fairness)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from .core import (
+    Cluster,
+    Engine,
+    Job,
+    JobState,
+    KillPolicy,
+    ListScheduler,
+    Observer,
+    ReservationProfile,
+    SimulationResult,
+)
+from .experiments import PolicyRun, bench_workload, run_policy, run_suite
+from .metrics import (
+    FairnessStats,
+    HybridFSTObserver,
+    LossOfCapacityObserver,
+    SummaryStats,
+    consp_fst,
+    fairness_stats,
+    resource_equality_deficits,
+    sabin_fst,
+    summarize,
+    weekly_series,
+)
+from .sched import (
+    CONSERVATIVE_POLICIES,
+    MINOR_POLICIES,
+    PAPER_POLICIES,
+    BaseScheduler,
+    ConservativeScheduler,
+    DepthKScheduler,
+    DynamicReservationScheduler,
+    EasyBackfillScheduler,
+    FairshareTracker,
+    NoBackfillScheduler,
+    NoGuaranteeScheduler,
+    get_policy,
+    policy_names,
+)
+from .workload import (
+    GeneratorConfig,
+    Workload,
+    generate_cplant_workload,
+    parent_view,
+    random_workload,
+    read_swf,
+    split_by_runtime_limit,
+    write_swf,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BaseScheduler",
+    "CONSERVATIVE_POLICIES",
+    "Cluster",
+    "ConservativeScheduler",
+    "DepthKScheduler",
+    "DynamicReservationScheduler",
+    "EasyBackfillScheduler",
+    "Engine",
+    "FairnessStats",
+    "FairshareTracker",
+    "GeneratorConfig",
+    "HybridFSTObserver",
+    "Job",
+    "JobState",
+    "KillPolicy",
+    "ListScheduler",
+    "LossOfCapacityObserver",
+    "MINOR_POLICIES",
+    "NoBackfillScheduler",
+    "NoGuaranteeScheduler",
+    "Observer",
+    "PAPER_POLICIES",
+    "PolicyRun",
+    "ReservationProfile",
+    "SimulationResult",
+    "SummaryStats",
+    "Workload",
+    "bench_workload",
+    "consp_fst",
+    "fairness_stats",
+    "generate_cplant_workload",
+    "get_policy",
+    "parent_view",
+    "policy_names",
+    "random_workload",
+    "read_swf",
+    "resource_equality_deficits",
+    "run_policy",
+    "run_suite",
+    "sabin_fst",
+    "split_by_runtime_limit",
+    "summarize",
+    "weekly_series",
+    "write_swf",
+    "__version__",
+]

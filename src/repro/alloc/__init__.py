@@ -1,0 +1,48 @@
+"""Compute Process Allocator (CPA) substrate.
+
+The paper's abstract: "A separate compute process allocator (CPA) ensures
+that the jobs on the machines are not too fragmented in order to maximize
+throughput."  CPlant allocated *specific* nodes with 1D linear strategies
+(Leung et al., "Processor allocation on CPlant: achieving general
+processor locality using one-dimensional allocation strategies").
+
+This subpackage implements that substrate: placement strategies over a
+linear node ordering, a placement-aware cluster, and the locality /
+fragmentation metrics that motivated the CPA.  None of the paper's
+*evaluated* metrics depend on placement (the scheduling study is a pure
+counting model), so this is an optional layer — but it completes the
+Sandia environment the paper describes and lets the allocation-quality
+ablation (``benchmarks/bench_ablation_allocation.py``) quantify how the
+scheduling policies differ in the fragmentation they induce.
+"""
+
+from .allocators import (
+    AllocationStrategy,
+    BestFitAllocator,
+    FirstFitAllocator,
+    RandomAllocator,
+    SpanMinimizingAllocator,
+)
+from .metrics import (
+    PlacementStats,
+    average_span_ratio,
+    fragmentation_of,
+    placement_stats,
+    span_of,
+)
+from .placed_cluster import PlacedCluster, Placement
+
+__all__ = [
+    "AllocationStrategy",
+    "BestFitAllocator",
+    "FirstFitAllocator",
+    "PlacedCluster",
+    "Placement",
+    "PlacementStats",
+    "RandomAllocator",
+    "SpanMinimizingAllocator",
+    "average_span_ratio",
+    "fragmentation_of",
+    "placement_stats",
+    "span_of",
+]

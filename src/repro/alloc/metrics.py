@@ -1,0 +1,67 @@
+"""Placement-quality metrics: the objectives the CPA optimizes.
+
+* **span** of a placement: last - first node index + 1; span == width is a
+  perfectly contiguous allocation.
+* **span ratio**: span / width (1.0 = contiguous; larger = fragmented,
+  more cross-job network contention on a 1D-mapped machine).
+* **fragmentation** of a free set: 1 - largest_free_interval / free_count
+  (0 = one contiguous hole; -> 1 = dust).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .allocators import _free_intervals
+from .placed_cluster import Placement
+
+
+def span_of(placement: Placement) -> int:
+    return placement.span
+
+
+def fragmentation_of(free_indices: Sequence[int]) -> float:
+    """1 - (largest free run / total free); 0.0 for empty or whole sets."""
+    arr = np.asarray(sorted(free_indices), dtype=np.int64)
+    if len(arr) == 0:
+        return 0.0
+    longest = max(length for _, length in _free_intervals(arr))
+    return 1.0 - longest / len(arr)
+
+
+@dataclass(frozen=True)
+class PlacementStats:
+    n_placements: int
+    mean_span_ratio: float      # 1.0 = always contiguous
+    p95_span_ratio: float
+    contiguous_fraction: float  # placements with span == width
+    #: span ratio weighted by the placement's proc-seconds (big jobs matter)
+    work_weighted_span_ratio: float
+
+
+def average_span_ratio(placements: Sequence[Placement]) -> float:
+    if not placements:
+        return 1.0
+    return float(np.mean([p.span / p.width for p in placements]))
+
+
+def placement_stats(placements: Sequence[Placement]) -> PlacementStats:
+    if not placements:
+        return PlacementStats(0, 1.0, 1.0, 1.0, 1.0)
+    ratios = np.array([p.span / p.width for p in placements])
+    weights = np.array([
+        p.width * ((p.end_time - p.start_time) if p.end_time else 0.0)
+        for p in placements
+    ])
+    wsum = weights.sum()
+    weighted = float((ratios * weights).sum() / wsum) if wsum > 0 else 1.0
+    return PlacementStats(
+        n_placements=len(placements),
+        mean_span_ratio=float(ratios.mean()),
+        p95_span_ratio=float(np.percentile(ratios, 95)),
+        contiguous_fraction=float((ratios == 1.0).mean()),
+        work_weighted_span_ratio=weighted,
+    )

@@ -1,0 +1,104 @@
+"""Placement-aware cluster: the counting model plus actual node indices.
+
+Wraps the same start/finish lifecycle as :class:`repro.core.cluster.Cluster`
+but assigns concrete node indices via an allocation strategy and records
+every placement, so post-hoc locality/fragmentation analysis (the CPA's
+objective) is possible.  It is a drop-in ``cluster`` for the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.cluster import AllocationError, Cluster
+from ..core.job import Job
+from .allocators import AllocationStrategy, FirstFitAllocator
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One job's realized allocation."""
+
+    job_id: int
+    nodes: tuple  # sorted node indices
+    start_time: float
+    end_time: Optional[float] = None
+
+    @property
+    def span(self) -> int:
+        """Distance between first and last node, +1 (compactness proxy)."""
+        return self.nodes[-1] - self.nodes[0] + 1
+
+    @property
+    def width(self) -> int:
+        return len(self.nodes)
+
+
+class PlacedCluster(Cluster):
+    """A cluster whose allocations name specific nodes."""
+
+    def __init__(self, size: int, strategy: Optional[AllocationStrategy] = None) -> None:
+        super().__init__(size)
+        self.strategy = strategy or FirstFitAllocator()
+        self._free_set = set(range(size))
+        self._node_of_job: Dict[int, List[int]] = {}
+        #: completed placements, in completion order (analysis output)
+        self.placements: List[Placement] = []
+        self._open: Dict[int, Placement] = {}
+
+    def start(self, job: Job, now: float) -> None:
+        if job.nodes > len(self._free_set):
+            raise AllocationError(
+                f"job {job.id} needs {job.nodes} nodes, "
+                f"{len(self._free_set)} free"
+            )
+        chosen = self.strategy.select(self._free_set, job.nodes)
+        if len(set(chosen)) != job.nodes:
+            raise AllocationError(
+                f"strategy {self.strategy.name} returned {len(set(chosen))} "
+                f"distinct nodes for a {job.nodes}-node request"
+            )
+        bad = [n for n in chosen if n not in self._free_set]
+        if bad:
+            raise AllocationError(
+                f"strategy {self.strategy.name} picked busy nodes {bad[:5]}"
+            )
+        super().start(job, now)
+        self._free_set.difference_update(chosen)
+        self._node_of_job[job.id] = sorted(chosen)
+        self._open[job.id] = Placement(
+            job_id=job.id, nodes=tuple(sorted(chosen)), start_time=now,
+        )
+
+    def finish(self, job: Job, now: float) -> None:
+        super().finish(job, now)
+        nodes = self._node_of_job.pop(job.id)
+        self._free_set.update(nodes)
+        open_pl = self._open.pop(job.id)
+        self.placements.append(
+            Placement(open_pl.job_id, open_pl.nodes, open_pl.start_time, now)
+        )
+
+    def nodes_of(self, job: Job) -> List[int]:
+        """Concrete node indices of a running job."""
+        try:
+            return list(self._node_of_job[job.id])
+        except KeyError:
+            raise AllocationError(f"job {job.id} is not running") from None
+
+    def free_node_indices(self) -> List[int]:
+        return sorted(self._free_set)
+
+    def check_invariants(self) -> None:
+        super().check_invariants()
+        busy = set()
+        for nodes in self._node_of_job.values():
+            for n in nodes:
+                if n in busy:
+                    raise AllocationError(f"node {n} double-allocated")
+                busy.add(n)
+        if busy & self._free_set:
+            raise AllocationError("free set overlaps busy nodes")
+        if len(busy) + len(self._free_set) != self.size:
+            raise AllocationError("placement accounting does not cover machine")

@@ -1,0 +1,232 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro-sched generate  --scale 0.2 --seed 7 --out trace.swf
+    repro-sched run       --policy cplant24.nomax.all [--swf trace.swf | --scale 0.1]
+    repro-sched compare   --policies cplant24.nomax.all,cons.72max --scale 0.1
+    repro-sched figures   --scale 0.1          # print every paper figure
+    repro-sched tables    --scale 1.0          # print Tables 1-2
+    repro-sched policies                        # list known policies
+
+``python -m repro ...`` works too.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import figures as F
+from .experiments.config import BenchConfig, bench_workload
+from .experiments.export import (
+    export_per_job_csv,
+    export_suite_csv,
+    export_suite_json,
+)
+from .experiments.runner import run_policy, run_suite
+from .workload.analysis import render_analysis
+from .experiments.tables import (
+    render_table1,
+    render_table2,
+    table1_job_counts,
+    table2_proc_hours,
+)
+from .sched.registry import MINOR_POLICIES, PAPER_POLICIES, REGISTRY
+from .workload.generator import GeneratorConfig, generate_cplant_workload
+from .workload.model import Workload
+from .workload.swf import read_swf, write_swf
+
+
+def _load_workload(args) -> Workload:
+    if getattr(args, "swf", None):
+        return read_swf(args.swf)
+    cfg = GeneratorConfig(scale=args.scale)
+    return generate_cplant_workload(cfg, seed=args.seed)
+
+
+def _add_workload_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--swf", help="read an SWF trace instead of generating")
+    p.add_argument("--scale", type=float, default=0.1,
+                   help="synthetic trace scale (fraction of the full trace)")
+    p.add_argument("--seed", type=int, default=7, help="generator seed")
+
+
+def cmd_generate(args) -> int:
+    wl = _load_workload(args)
+    write_swf(wl, args.out)
+    print(wl.describe())
+    print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    wl = _load_workload(args)
+    print(wl.describe())
+    run = run_policy(wl, args.policy)
+    s, f = run.summary, run.fairness
+    print(f"policy: {args.policy}")
+    print(f"  jobs completed        : {s.n_jobs}")
+    print(f"  avg wait              : {s.avg_wait:,.0f} s")
+    print(f"  avg turnaround (Eq.1) : {s.avg_turnaround:,.0f} s")
+    print(f"  avg bounded slowdown  : {s.avg_slowdown:,.1f}")
+    print(f"  utilization (Eq.2)    : {100 * s.utilization:.1f} %")
+    print(f"  loss of capacity(Eq.4): {100 * run.loss_of_capacity:.2f} %")
+    print(f"  percent unfair jobs   : {100 * f.percent_unfair:.2f} %")
+    print(f"  avg miss time (Eq.5)  : {f.average_miss_time:,.0f} s")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    wl = _load_workload(args)
+    print(wl.describe())
+    keys = args.policies.split(",") if args.policies else list(PAPER_POLICIES)
+    suite = run_suite(wl, keys, progress=True)
+    hdr = (f"{'policy':<24}{'%unfair':>9}{'avg miss':>12}{'avg TAT':>12}"
+           f"{'LOC%':>8}{'util%':>8}")
+    print(hdr)
+    for k, r in suite.items():
+        print(
+            f"{k:<24}{100 * r.percent_unfair:>8.2f}%"
+            f"{r.average_miss_time:>12,.0f}{r.average_turnaround:>12,.0f}"
+            f"{100 * r.loss_of_capacity:>7.2f}%{100 * r.summary.utilization:>7.1f}%"
+        )
+    return 0
+
+
+def cmd_figures(args) -> int:
+    wl = _load_workload(args)
+    print(wl.describe())
+    suite = run_suite(wl, PAPER_POLICIES, progress=True)
+    baseline = suite["cplant24.nomax.all"]
+    sections = [
+        F.render_fig03(F.fig03_weekly_load(baseline, wl)),
+        F.render_fig04(F.fig04_runtime_vs_nodes(wl)),
+        F.render_fig05(F.fig05_estimates(wl)),
+        F.render_fig06(F.fig06_overestimation_vs_runtime(wl)),
+        F.render_fig07(F.fig07_overestimation_vs_nodes(wl)),
+        F.render_fig08(F.fig08_percent_unfair_minor(suite)),
+        F.render_fig09(F.fig09_miss_time_minor(suite)),
+        F.render_fig10(F.fig10_miss_by_width_minor(suite)),
+        F.render_fig11(F.fig11_turnaround_minor(suite)),
+        F.render_fig12(F.fig12_turnaround_by_width_minor(suite)),
+        F.render_fig13(F.fig13_loc_minor(suite)),
+        F.render_fig14(F.fig14_percent_unfair_all(suite)),
+        F.render_fig15(F.fig15_miss_time_all(suite)),
+        F.render_fig16(F.fig16_miss_by_width_cons(suite)),
+        F.render_fig17(F.fig17_turnaround_all(suite)),
+        F.render_fig18(F.fig18_turnaround_by_width_cons(suite)),
+        F.render_fig19(F.fig19_loc_all(suite)),
+    ]
+    print("\n\n".join(sections))
+    return 0
+
+
+def cmd_tables(args) -> int:
+    wl = _load_workload(args)
+    print(wl.describe())
+    print(render_table1(table1_job_counts(wl)))
+    print()
+    print(render_table2(table2_proc_hours(wl)))
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    wl = _load_workload(args)
+    print(render_analysis(wl))
+    return 0
+
+
+def cmd_export(args) -> int:
+    wl = _load_workload(args)
+    print(wl.describe())
+    keys = args.policies.split(",") if args.policies else list(PAPER_POLICIES)
+    suite = run_suite(wl, keys, progress=True)
+    wrote = []
+    if args.json:
+        export_suite_json(suite, args.json)
+        wrote.append(args.json)
+    if args.csv:
+        export_suite_csv(suite, args.csv)
+        wrote.append(args.csv)
+    if args.per_job:
+        for key, run in suite.items():
+            path = f"{args.per_job}.{key}.csv"
+            export_per_job_csv(run, path)
+            wrote.append(path)
+    if not wrote:
+        print("nothing to write: pass --json, --csv, and/or --per-job")
+        return 1
+    for path in wrote:
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_policies(_args) -> int:
+    for key, spec in REGISTRY.items():
+        star = "*" if key in PAPER_POLICIES else " "
+        print(f"{star} {key:<24} {spec.description}")
+    print("\n* = one of the paper's nine evaluated policies")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-sched",
+        description="CPlant fairness case-study reproduction",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="write a synthetic SWF trace")
+    _add_workload_args(g)
+    g.add_argument("--out", default="cplant_synthetic.swf")
+    g.set_defaults(fn=cmd_generate)
+
+    r = sub.add_parser("run", help="simulate one policy")
+    _add_workload_args(r)
+    r.add_argument("--policy", default="cplant24.nomax.all",
+                   choices=sorted(REGISTRY))
+    r.set_defaults(fn=cmd_run)
+
+    c = sub.add_parser("compare", help="simulate several policies")
+    _add_workload_args(c)
+    c.add_argument("--policies", default=None,
+                   help="comma-separated policy keys (default: the paper's nine)")
+    c.set_defaults(fn=cmd_compare)
+
+    f = sub.add_parser("figures", help="print every paper figure")
+    _add_workload_args(f)
+    f.set_defaults(fn=cmd_figures)
+
+    t = sub.add_parser("tables", help="print Tables 1-2")
+    _add_workload_args(t)
+    t.set_defaults(fn=cmd_tables)
+
+    a = sub.add_parser("analyze", help="workload characterization summary")
+    _add_workload_args(a)
+    a.set_defaults(fn=cmd_analyze)
+
+    e = sub.add_parser("export", help="simulate and export metrics")
+    _add_workload_args(e)
+    e.add_argument("--policies", default=None,
+                   help="comma-separated policy keys (default: the nine)")
+    e.add_argument("--json", default=None, help="suite metrics JSON path")
+    e.add_argument("--csv", default=None, help="suite metrics CSV path")
+    e.add_argument("--per-job", default=None,
+                   help="per-job CSV path prefix (one file per policy)")
+    e.set_defaults(fn=cmd_export)
+
+    ls = sub.add_parser("policies", help="list known policies")
+    ls.set_defaults(fn=cmd_policies)
+
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,301 @@
+"""Event-driven simulation engine.
+
+The engine owns the clock, the event queue, and the cluster; the scheduler
+owns the waiting jobs and all policy decisions.  At every event the engine
+performs bookkeeping (complete jobs, deliver arrivals, fire timers) and then
+lets the scheduler run a scheduling pass, mirroring the paper's simulator
+("at each scheduling event (job completion and job arrival), the queue was
+processed...").
+
+Chunk chains (from the runtime-limit transform) are driven here: when a
+chunk completes, its successor chunk is submitted at that instant, exactly
+like a user resubmitting from a checkpoint.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .cluster import Cluster
+from .events import Event, EventKind, EventQueue
+from .job import Job, JobState
+from .results import SimulationResult
+
+
+class KillPolicy(enum.Enum):
+    """What happens when a job reaches its wall-clock limit.
+
+    * ``NEVER`` — jobs always run their full trace runtime.
+    * ``AT_WCL`` — hard enforcement: runtime truncated to the WCL.
+    * ``IF_NEEDED`` — the CPlant rule (Section 2.2): "the scheduler kills
+      jobs after the WCL is reached; however, if no other job requires the
+      processors, the job is allowed to continue running until the
+      processors are needed."  An overrunning job is killed the moment a
+      waiting job cannot fit in the free nodes; otherwise it is re-checked
+      periodically until its natural completion.
+    """
+
+    NEVER = "never"
+    AT_WCL = "at_wcl"
+    IF_NEEDED = "if_needed"
+
+
+class Observer:
+    """Passive simulation listener; all hooks are optional overrides."""
+
+    def on_attach(self, engine: "Engine") -> None: ...
+    def on_arrival(self, job: Job, now: float) -> None: ...
+    def on_start(self, job: Job, now: float) -> None: ...
+    def on_completion(self, job: Job, now: float) -> None: ...
+    def on_end(self, now: float) -> None: ...
+    def collect(self, result: SimulationResult) -> None: ...
+
+
+class Engine:
+    """Run one workload through one scheduler on one cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        scheduler: "SchedulerProtocol",
+        jobs: Sequence[Job],
+        observers: Iterable[Observer] = (),
+        kill_policy: KillPolicy = KillPolicy.NEVER,
+        validate: bool = False,
+        max_events: Optional[int] = None,
+        wcl_check_interval: float = 900.0,
+    ) -> None:
+        self.cluster = cluster
+        self.scheduler = scheduler
+        self.observers: List[Observer] = list(observers)
+        self.kill_policy = kill_policy
+        self.validate = validate
+        self.max_events = max_events
+        self.wcl_check_interval = wcl_check_interval
+        #: pending natural-completion events, cancellable by a WCL kill
+        self._completion_events: Dict[int, Event] = {}
+
+        self.now = 0.0
+        self.events = EventQueue()
+        self._events_processed = 0
+        self._jobs: List[Job] = [j.fresh_copy() for j in jobs]
+        self._started_this_pass: List[Job] = []
+        self._outstanding = len(self._jobs)
+
+        oversized = [j.id for j in self._jobs if j.nodes > cluster.size]
+        if oversized:
+            raise ValueError(
+                f"jobs wider than the cluster ({cluster.size} nodes): {oversized[:5]}"
+            )
+
+        # chunk chains: (parent_id, chunk_index) -> job; chunks beyond the
+        # first are submitted when their predecessor completes.
+        self._successors: Dict[Tuple[int, int], Job] = {}
+        chains: Dict[int, List[Job]] = {}
+        for job in self._jobs:
+            if job.is_chunk and job.chunk_index > 0:
+                self._successors[(job.parent_id, job.chunk_index)] = job
+            if job.is_chunk:
+                chains.setdefault(job.parent_id, []).append(job)
+        # chain-tail work after each chunk (fairness observers treat a chunk
+        # chain as one contiguous trace job in their hypothetical schedules)
+        self._tail_runtime: Dict[int, float] = {}
+        self._tail_wcl: Dict[int, float] = {}
+        for chunks in chains.values():
+            chunks.sort(key=lambda c: c.chunk_index)
+            rt = wcl = 0.0
+            for c in reversed(chunks):
+                self._tail_runtime[c.id] = rt
+                self._tail_wcl[c.id] = wcl
+                rt += c.runtime
+                wcl += c.wcl
+
+        for job in self._jobs:
+            if not (job.is_chunk and job.chunk_index > 0):
+                self.events.push(job.submit_time, EventKind.ARRIVAL, job)
+
+        scheduler.attach(self)
+        for obs in self.observers:
+            obs.on_attach(self)
+
+    # -- services used by schedulers -------------------------------------------
+
+    def start_job(self, job: Job) -> None:
+        """Allocate nodes and schedule the completion; called by schedulers
+        from inside a scheduling pass."""
+        if job.state is not JobState.QUEUED:
+            raise RuntimeError(f"cannot start job {job.id} in state {job.state}")
+        self.cluster.start(job, self.now)
+        duration = job.runtime
+        if self.kill_policy is KillPolicy.AT_WCL:
+            duration = min(duration, job.wcl)
+        ev = self.events.push(self.now + duration, EventKind.COMPLETION, job)
+        if self.kill_policy is KillPolicy.IF_NEEDED and job.runtime > job.wcl:
+            self._completion_events[job.id] = ev
+            self.events.push(self.now + job.wcl, EventKind.WCL_CHECK, job)
+        self._started_this_pass.append(job)
+
+    def chain_tail_runtime(self, job: Job) -> float:
+        """Actual runtime still to come in this job's chunk chain (0 for
+        ordinary jobs and final chunks)."""
+        return self._tail_runtime.get(job.id, 0.0)
+
+    def chain_tail_wcl(self, job: Job) -> float:
+        """Estimated (WCL) work still to come in this job's chunk chain."""
+        return self._tail_wcl.get(job.id, 0.0)
+
+    def add_timer(self, time: float, payload=None, kind: EventKind = EventKind.GENERIC_TIMER) -> Event:
+        return self.events.push(time, kind, payload)
+
+    def cancel_timer(self, event: Event) -> None:
+        self.events.cancel(event)
+
+    # -- main loop -----------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        while self.events:
+            ev = self.events.pop()
+            if self.max_events is not None and self._events_processed >= self.max_events:
+                raise RuntimeError(
+                    f"exceeded max_events={self.max_events}; "
+                    "likely a scheduler livelock"
+                )
+            self._events_processed += 1
+            if ev.time < self.now:
+                raise RuntimeError(
+                    f"time went backwards: {ev.time} < {self.now} ({ev.kind})"
+                )
+            self.now = ev.time
+            self._dispatch(ev)
+            if self.validate:
+                self.cluster.check_invariants()
+            if self._outstanding == 0:
+                # every job completed; leftover timer chains (decay ticks,
+                # starvation re-checks) would only spin the clock forward
+                break
+
+        if self.cluster.running_count:
+            raise RuntimeError("event queue drained with jobs still running")
+        stranded = self.scheduler.waiting_jobs()
+        if stranded:
+            raise RuntimeError(
+                f"scheduler stranded {len(stranded)} queued jobs "
+                f"(first: {stranded[0].id}); the policy never started them"
+            )
+
+        for obs in self.observers:
+            obs.on_end(self.now)
+
+        result = SimulationResult(
+            jobs=self._jobs,
+            cluster_size=self.cluster.size,
+            end_time=self.now,
+            events_processed=self._events_processed,
+        )
+        for obs in self.observers:
+            obs.collect(result)
+        return result
+
+    # -- event handling ------------------------------------------------------------
+
+    def _dispatch(self, ev: Event) -> None:
+        if ev.kind is EventKind.COMPLETION:
+            # simultaneous completions are one scheduling event: freeing
+            # them one pass at a time would let a scheduler misread a
+            # just-finishing peer (completion pending at this very instant)
+            # as an overrunning job
+            batch = [ev.payload]
+            while True:
+                nxt = self.events.peek()
+                if (nxt is None or nxt.kind is not EventKind.COMPLETION
+                        or nxt.time != ev.time):
+                    break
+                batch.append(self.events.pop().payload)
+                self._events_processed += 1
+            for job in batch:
+                self._completion_events.pop(job.id, None)
+            self._handle_completions(batch)
+        elif ev.kind is EventKind.ARRIVAL:
+            self._handle_arrival(ev.payload)
+        elif ev.kind is EventKind.WCL_CHECK:
+            self._handle_wcl_check(ev.payload)
+        else:
+            self.scheduler.on_timer(ev.payload, self.now, ev.kind)
+            self._run_pass("timer")
+
+    def _handle_wcl_check(self, job: Job) -> None:
+        """The CPlant IF_NEEDED rule: an overrunning job is killed the
+        moment some waiting job cannot fit in the currently free nodes."""
+        if job.state is not JobState.RUNNING:
+            return
+        free = self.cluster.free_nodes
+        needed = any(w.nodes > free for w in self.scheduler.waiting_jobs())
+        if needed:
+            pending = self._completion_events.pop(job.id, None)
+            if pending is not None:
+                self.events.cancel(pending)
+            self._handle_completion(job)
+        else:
+            self.events.push(
+                self.now + self.wcl_check_interval, EventKind.WCL_CHECK, job
+            )
+
+    def _handle_arrival(self, job: Job) -> None:
+        job.state = JobState.QUEUED
+        job.submit_time = self.now if job.is_chunk and job.chunk_index > 0 else job.submit_time
+        self.scheduler.enqueue(job, self.now)
+        # fairness observers snapshot state *after* the job is queued but
+        # *before* any start decision at this instant (Section 4.1: "the
+        # state of the scheduler upon job arrival").
+        for obs in self.observers:
+            obs.on_arrival(job, self.now)
+        self._run_pass("arrival")
+
+    def _handle_completions(self, jobs: List[Job]) -> None:
+        for job in jobs:
+            self.cluster.finish(job, self.now)
+            self._outstanding -= 1
+            self.scheduler.on_completion(job, self.now)
+            for obs in self.observers:
+                obs.on_completion(job, self.now)
+            if job.is_chunk:
+                succ = self._successors.pop(
+                    (job.parent_id, job.chunk_index + 1), None
+                )
+                if succ is not None:
+                    self.events.push(self.now, EventKind.ARRIVAL, succ)
+        self._run_pass("completion")
+
+    def _handle_completion(self, job: Job) -> None:
+        self._handle_completions([job])
+
+    def _run_pass(self, reason: str) -> None:
+        self._started_this_pass = []
+        self.scheduler.schedule(self.now, reason)
+        for job in self._started_this_pass:
+            for obs in self.observers:
+                obs.on_start(job, self.now)
+
+
+class SchedulerProtocol:
+    """Interface the engine expects; see :mod:`repro.sched.base`.
+
+    Besides the methods below, schedulers expose ``waiting_jobs()`` (all
+    jobs held in queues), used by the WCL kill rule and end-of-run checks.
+    """
+
+    def attach(self, engine: Engine) -> None:
+        raise NotImplementedError
+
+    def enqueue(self, job: Job, now: float) -> None:
+        raise NotImplementedError
+
+    def on_completion(self, job: Job, now: float) -> None:
+        raise NotImplementedError
+
+    def on_timer(self, payload, now: float, kind: EventKind) -> None:
+        raise NotImplementedError
+
+    def schedule(self, now: float, reason: str) -> None:
+        raise NotImplementedError

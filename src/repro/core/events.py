@@ -1,0 +1,82 @@
+"""Discrete-event machinery: event kinds and a stable priority queue.
+
+Events at equal timestamps are delivered in a deterministic order:
+completions before arrivals before timers (so a completion at time *t*
+frees nodes before the scheduling pass triggered by an arrival at *t*),
+and within a kind in insertion order.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class EventKind(enum.IntEnum):
+    """Ordering of the enum values is the tie-break order at equal times."""
+
+    COMPLETION = 0
+    ARRIVAL = 1
+    STARVATION_TIMER = 2
+    DECAY_TICK = 3
+    GENERIC_TIMER = 4
+    WCL_CHECK = 5
+
+
+@dataclass(order=True)
+class Event:
+    time: float
+    kind: EventKind
+    seq: int
+    payload: Any = field(compare=False, default=None)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventQueue:
+    """Heap-backed event queue with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time: float, kind: EventKind, payload: Any = None) -> Event:
+        if time < 0:
+            raise ValueError(f"event time must be >= 0, got {time}")
+        ev = Event(time, kind, next(self._counter), payload)
+        heapq.heappush(self._heap, ev)
+        self._live += 1
+        return ev
+
+    def cancel(self, event: Event) -> None:
+        """Mark an event dead; it is skipped when popped."""
+        if not event.cancelled:
+            event.cancelled = True
+            self._live -= 1
+
+    def pop(self) -> Event:
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self._live -= 1
+            return ev
+        raise IndexError("pop from empty EventQueue")
+
+    def peek(self) -> Optional[Event]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0] if self._heap else None
+
+    def peek_time(self) -> Optional[float]:
+        ev = self.peek()
+        return ev.time if ev is not None else None

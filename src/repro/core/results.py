@@ -1,0 +1,55 @@
+"""Simulation outputs.
+
+A :class:`SimulationResult` bundles everything downstream metrics need:
+the completed job list (with start/end times filled in), the cluster size,
+the simulated horizon, and any per-job side channels observers recorded
+(e.g. fair-start times keyed by metric name).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .job import Job, JobState
+
+
+@dataclass
+class SimulationResult:
+    jobs: List[Job]
+    cluster_size: int
+    end_time: float
+    events_processed: int = 0
+    # side channels: metric name -> {job_id -> value}
+    series: Dict[str, Dict[int, float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        incomplete = [j.id for j in self.jobs if j.state is not JobState.COMPLETED]
+        if incomplete:
+            raise ValueError(
+                f"{len(incomplete)} jobs did not complete (first: {incomplete[:5]})"
+            )
+
+    @property
+    def makespan(self) -> float:
+        """Equation 3: max completion - min start."""
+        if not self.jobs:
+            return 0.0
+        return max(j.end_time for j in self.jobs) - min(j.start_time for j in self.jobs)
+
+    @property
+    def total_work(self) -> float:
+        """Executed processor-seconds (kill modes can truncate runtimes)."""
+        return sum(j.nodes * (j.end_time - j.start_time) for j in self.jobs)
+
+    def job_by_id(self) -> Dict[int, Job]:
+        return {j.id: j for j in self.jobs}
+
+    def fst(self, metric: str = "hybrid") -> Dict[int, float]:
+        """Fair-start times recorded by a fairness observer."""
+        key = f"fst_{metric}"
+        if key not in self.series:
+            raise KeyError(
+                f"no '{key}' series; attach the matching observer before running"
+            )
+        return self.series[key]

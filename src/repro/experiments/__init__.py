@@ -1,0 +1,32 @@
+"""Experiment harness: policy runs, figure/table data generators, reports."""
+
+from .config import BenchConfig, bench_workload
+from .runner import (
+    PolicyRun,
+    cached_suite,
+    clear_suite_cache,
+    run_policy,
+    run_suite,
+)
+from .tables import (
+    TableComparison,
+    render_table1,
+    render_table2,
+    table1_job_counts,
+    table2_proc_hours,
+)
+
+__all__ = [
+    "BenchConfig",
+    "PolicyRun",
+    "TableComparison",
+    "bench_workload",
+    "cached_suite",
+    "clear_suite_cache",
+    "render_table1",
+    "render_table2",
+    "run_policy",
+    "run_suite",
+    "table1_job_counts",
+    "table2_proc_hours",
+]

@@ -1,0 +1,195 @@
+"""Run (workload x policy) simulations and bundle every metric the paper
+reports.
+
+One :class:`PolicyRun` carries everything Figures 8-19 need for one bar /
+series, so a full policy suite is simulated once and each figure is a cheap
+projection.  Suites are memoized per (workload identity, policy set,
+options) because a dozen benchmarks share them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.cluster import Cluster
+from ..core.engine import Engine, KillPolicy
+from ..core.results import SimulationResult
+from ..metrics.categories import average_miss_by_width, average_turnaround_by_width
+from ..metrics.fairness import (
+    FairnessStats,
+    HybridFSTObserver,
+    fairness_stats,
+)
+from ..metrics.loc import LossOfCapacityObserver, loc_of
+from ..metrics.standard import (
+    SummaryStats,
+    average_slowdown,
+    average_turnaround,
+    average_wait,
+    makespan,
+    utilization,
+)
+from ..sched.registry import get_policy
+from ..workload.model import Workload
+from ..workload.transforms import parent_view, split_by_runtime_limit
+
+
+@dataclass
+class PolicyRun:
+    """One policy's simulation outcome plus the paper's derived metrics.
+
+    ``metric_jobs`` is the per-trace-job view (chunk chains collapsed back
+    to their original job), so user metrics are comparable across policies
+    with and without runtime limits; ``result.jobs`` keeps the raw
+    scheduler-visible jobs.
+    """
+
+    policy: str
+    result: SimulationResult
+    summary: SummaryStats
+    fairness: FairnessStats
+    loss_of_capacity: float
+    miss_by_width: np.ndarray
+    turnaround_by_width: np.ndarray
+    metric_jobs: list = None
+    fst: Dict[int, float] = None
+
+    @property
+    def percent_unfair(self) -> float:
+        return self.fairness.percent_unfair
+
+    @property
+    def average_miss_time(self) -> float:
+        return self.fairness.average_miss_time
+
+    @property
+    def average_turnaround(self) -> float:
+        return self.summary.avg_turnaround
+
+
+def run_policy(
+    workload: Workload,
+    policy_key: str,
+    estimate_mode: str = "perfect",
+    epsilon: float = 1.0,
+    kill_policy: KillPolicy = KillPolicy.IF_NEEDED,
+    scheduler_overrides: Optional[Mapping[str, object]] = None,
+    validate: bool = False,
+) -> PolicyRun:
+    """Simulate one named policy on a workload and derive all metrics."""
+    spec = get_policy(policy_key)
+    wl = workload
+    if spec.max_runtime is not None:
+        wl = split_by_runtime_limit(workload, spec.max_runtime)
+    scheduler = spec.make_scheduler(**dict(scheduler_overrides or {}))
+    fst_obs = HybridFSTObserver(estimate_mode)
+    loc_obs = LossOfCapacityObserver()
+    engine = Engine(
+        Cluster(wl.system_size),
+        scheduler,
+        wl.jobs,
+        observers=[fst_obs, loc_obs],
+        kill_policy=kill_policy,
+        validate=validate,
+    )
+    result = engine.run()
+    fst = result.fst("hybrid")
+
+    # Metrics are reported per *trace* job so every policy averages over the
+    # identical job population (Figures 9/15 compare sums across policies).
+    # For runtime-limit policies the scheduler saw chunks; collapse them:
+    # the trace job's start is its first chunk's start, its completion the
+    # last chunk's, and its FST the one observed at first-chunk arrival.
+    if spec.max_runtime is not None:
+        metric_jobs = parent_view(result.jobs)
+        metric_fst: Dict[int, float] = {}
+        for j in result.jobs:
+            if not j.is_chunk:
+                metric_fst[j.id] = fst[j.id]
+            elif j.chunk_index == 0:
+                metric_fst[j.parent_id] = fst[j.id]
+    else:
+        metric_jobs = result.jobs
+        metric_fst = fst
+
+    stats = fairness_stats(metric_jobs, metric_fst, epsilon=epsilon)
+    # user metrics over trace jobs; system metrics over the raw schedule
+    # (a collapsed parent spans its inter-chunk waits, which must not count
+    # as executed work)
+    summary = SummaryStats(
+        n_jobs=len(metric_jobs),
+        avg_wait=average_wait(metric_jobs),
+        avg_turnaround=average_turnaround(metric_jobs),
+        avg_slowdown=average_slowdown(metric_jobs),
+        utilization=utilization(result.jobs, result.cluster_size),
+        makespan=makespan(result.jobs),
+    )
+    return PolicyRun(
+        policy=policy_key,
+        result=result,
+        summary=summary,
+        fairness=stats,
+        loss_of_capacity=loc_of(result),
+        miss_by_width=average_miss_by_width(metric_jobs, metric_fst),
+        turnaround_by_width=average_turnaround_by_width(metric_jobs),
+        metric_jobs=metric_jobs,
+        fst=metric_fst,
+    )
+
+
+def run_suite(
+    workload: Workload,
+    policies: Sequence[str],
+    progress: bool = False,
+    **kwargs,
+) -> Dict[str, PolicyRun]:
+    """Run several policies on the same workload."""
+    out: Dict[str, PolicyRun] = {}
+    for key in policies:
+        if progress:
+            print(f"[repro] simulating {key} on {workload.name} ...", flush=True)
+        out[key] = run_policy(workload, key, **kwargs)
+    return out
+
+
+# -- suite memoization --------------------------------------------------------
+
+_SUITE_CACHE: Dict[Tuple, Dict[str, PolicyRun]] = {}
+
+
+def cached_suite(
+    workload: Workload,
+    policies: Sequence[str],
+    cache_key: Optional[str] = None,
+    **kwargs,
+) -> Dict[str, PolicyRun]:
+    """Like :func:`run_suite`, but memoized.
+
+    The cache key is the workload's name (generators encode scale and seed
+    there) unless an explicit ``cache_key`` is given; identical names with
+    different job lists would alias, so generated workloads must carry
+    distinguishing names.
+    """
+    key = (
+        cache_key or workload.name,
+        len(workload),
+        tuple(policies),
+        tuple(sorted(kwargs.items())),
+    )
+    missing = [p for p in policies]
+    if key in _SUITE_CACHE:
+        cached = _SUITE_CACHE[key]
+        missing = [p for p in policies if p not in cached]
+        if not missing:
+            return {p: cached[p] for p in policies}
+    fresh = run_suite(workload, missing, **kwargs)
+    merged = {**_SUITE_CACHE.get(key, {}), **fresh}
+    _SUITE_CACHE[key] = merged
+    return {p: merged[p] for p in policies}
+
+
+def clear_suite_cache() -> None:
+    _SUITE_CACHE.clear()

@@ -1,0 +1,85 @@
+"""Tables 1 and 2: the width x length workload characterization.
+
+Each generator returns the matrix for a given workload plus a rendering in
+the paper's layout, and a comparison against the published CPlant numbers
+(meaningful at scale=1; at reduced scale the comparison is per-cell
+proportional).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..workload import cplant
+from ..workload.categories import format_category_table
+from ..workload.model import Workload
+
+
+@dataclass(frozen=True)
+class TableComparison:
+    measured: np.ndarray
+    reference: np.ndarray
+    #: reference scaled to the measured total (for scale<1 runs)
+    scaled_reference: np.ndarray
+    #: relative error on totals
+    total_rel_error: float
+    #: cellwise |measured - scaled_reference| summed, over reference total
+    l1_rel_error: float
+
+
+def _compare(measured: np.ndarray, reference: np.ndarray) -> TableComparison:
+    ref_total = reference.sum()
+    meas_total = measured.sum()
+    scale = meas_total / ref_total if ref_total else 0.0
+    scaled = reference * scale
+    return TableComparison(
+        measured=measured,
+        reference=reference,
+        scaled_reference=scaled,
+        total_rel_error=abs(meas_total - ref_total) / ref_total if ref_total else 0.0,
+        l1_rel_error=float(np.abs(measured - scaled).sum() / max(scaled.sum(), 1e-12)),
+    )
+
+
+def table1_job_counts(workload: Workload) -> TableComparison:
+    """Table 1: number of jobs in each length/width category."""
+    return _compare(workload.count_table(), cplant.TABLE1_COUNTS.astype(float))
+
+
+def table2_proc_hours(workload: Workload) -> TableComparison:
+    """Table 2: processor-hours in each length/width category."""
+    return _compare(workload.proc_hours_table(), cplant.TABLE2_PROC_HOURS)
+
+
+def render_table1(cmp: TableComparison) -> str:
+    out = [
+        format_category_table(cmp.measured, "Table 1 (measured): job counts"),
+        "",
+        format_category_table(
+            cmp.scaled_reference,
+            "Table 1 (paper, scaled to measured total): job counts",
+        ),
+        "",
+        f"total jobs measured: {cmp.measured.sum():.0f}   "
+        f"paper: {cmp.reference.sum():.0f}   "
+        f"cellwise L1 error vs scaled paper: {100 * cmp.l1_rel_error:.1f}%",
+    ]
+    return "\n".join(out)
+
+
+def render_table2(cmp: TableComparison) -> str:
+    out = [
+        format_category_table(cmp.measured, "Table 2 (measured): proc-hours"),
+        "",
+        format_category_table(
+            cmp.scaled_reference,
+            "Table 2 (paper, scaled to measured total): proc-hours",
+        ),
+        "",
+        f"total proc-hours measured: {cmp.measured.sum():.0f}   "
+        f"paper: {cmp.reference.sum():.0f}   "
+        f"cellwise L1 error vs scaled paper: {100 * cmp.l1_rel_error:.1f}%",
+    ]
+    return "\n".join(out)

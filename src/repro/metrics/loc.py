@@ -1,0 +1,102 @@
+"""Loss of Capacity (Equation 4).
+
+LOC is the fraction of processor cycles left idle *while work was
+waiting*: the time integral of ``min(queued demand, idle nodes)``
+normalized by makespan x system size.  A work-conserving scheduler has
+LOC 0; backfilling schedulers trade some LOC for fairness guarantees.
+
+The integrand only changes at simulation events, so this is an
+:class:`~repro.core.engine.Observer` that accumulates exactly between
+state changes rather than a post-processing pass.
+"""
+
+from __future__ import annotations
+
+from ..core.engine import Engine, Observer
+from ..core.job import Job
+from ..core.results import SimulationResult
+
+
+class LossOfCapacityObserver(Observer):
+    """Attach to an engine; read ``loss_of_capacity`` afterwards."""
+
+    def __init__(self) -> None:
+        self._integral = 0.0
+        self._last_time = 0.0
+        self._queued_nodes = 0
+        self._free_nodes = 0
+        self._size = 0
+        # recorded at completion for Eq. 4's normalization
+        self._min_start = None
+        self._max_end = None
+
+    # -- wiring ------------------------------------------------------------------
+
+    def on_attach(self, engine: Engine) -> None:
+        self._size = engine.cluster.size
+        self._free_nodes = engine.cluster.free_nodes
+        self._last_time = engine.now
+
+    def _accumulate(self, now: float) -> None:
+        dt = now - self._last_time
+        if dt > 0:
+            waste = min(self._queued_nodes, self._free_nodes)
+            if waste > 0:
+                self._integral += waste * dt
+            self._last_time = now
+        elif dt == 0:
+            return
+        else:
+            raise RuntimeError(f"time went backwards in LOC observer: {now}")
+
+    def on_arrival(self, job: Job, now: float) -> None:
+        self._accumulate(now)
+        self._queued_nodes += job.nodes
+
+    def on_start(self, job: Job, now: float) -> None:
+        self._accumulate(now)
+        self._queued_nodes -= job.nodes
+        self._free_nodes -= job.nodes
+        if self._queued_nodes < 0 or self._free_nodes < 0:
+            raise RuntimeError("LOC accounting went negative")
+        if self._min_start is None:
+            self._min_start = now
+
+    def on_completion(self, job: Job, now: float) -> None:
+        self._accumulate(now)
+        self._free_nodes += job.nodes
+        self._max_end = now
+
+    def on_end(self, now: float) -> None:
+        self._accumulate(now)
+
+    # -- results ---------------------------------------------------------------------
+
+    @property
+    def wasted_proc_seconds(self) -> float:
+        """The raw integral in Eq. 4's numerator."""
+        return self._integral
+
+    @property
+    def loss_of_capacity(self) -> float:
+        """Equation 4: integral / (makespan x system size)."""
+        if self._min_start is None or self._max_end is None:
+            return 0.0
+        span = self._max_end - self._min_start
+        if span <= 0:
+            return 0.0
+        return self._integral / (span * self._size)
+
+    def collect(self, result: SimulationResult) -> None:
+        result.series["loss_of_capacity"] = {0: self.loss_of_capacity}
+        result.series["wasted_proc_seconds"] = {0: self._integral}
+
+
+def loc_of(result: SimulationResult) -> float:
+    """Pull LOC from a result produced with a LossOfCapacityObserver."""
+    try:
+        return result.series["loss_of_capacity"][0]
+    except KeyError:
+        raise KeyError(
+            "result has no LOC series; attach LossOfCapacityObserver"
+        ) from None

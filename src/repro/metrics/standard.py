@@ -1,0 +1,111 @@
+"""Standard user and system metrics (Section 3.2).
+
+User metrics: wait time, turnaround time (Eq. 1), slowdown.  System
+metrics: utilization (Eq. 2) over the makespan (Eq. 3).  Loss of Capacity
+(Eq. 4) has its own module because it needs in-simulation integration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..core.job import Job, JobState
+from ..core.results import SimulationResult
+
+
+def _require_completed(jobs: Sequence[Job]) -> None:
+    bad = [j.id for j in jobs if j.state is not JobState.COMPLETED]
+    if bad:
+        raise ValueError(f"metrics need completed jobs; incomplete: {bad[:5]}")
+
+
+def wait_times(jobs: Sequence[Job]) -> np.ndarray:
+    _require_completed(jobs)
+    return np.array([j.start_time - j.submit_time for j in jobs])
+
+
+def turnaround_times(jobs: Sequence[Job]) -> np.ndarray:
+    _require_completed(jobs)
+    return np.array([j.end_time - j.submit_time for j in jobs])
+
+
+def average_turnaround(jobs: Sequence[Job]) -> float:
+    """Equation 1."""
+    if not jobs:
+        return 0.0
+    return float(turnaround_times(jobs).mean())
+
+
+def average_wait(jobs: Sequence[Job]) -> float:
+    if not jobs:
+        return 0.0
+    return float(wait_times(jobs).mean())
+
+
+def slowdowns(jobs: Sequence[Job], bound: float = 10.0) -> np.ndarray:
+    """Bounded slowdown: TAT / max(runtime, bound); the bound keeps
+    zero-length jobs from dominating the mean."""
+    _require_completed(jobs)
+    tat = turnaround_times(jobs)
+    rt = np.array([max(j.end_time - j.start_time, bound) for j in jobs])
+    return tat / rt
+
+
+def average_slowdown(jobs: Sequence[Job], bound: float = 10.0) -> float:
+    if not jobs:
+        return 0.0
+    return float(slowdowns(jobs, bound).mean())
+
+
+def makespan(jobs: Sequence[Job]) -> float:
+    """Equation 3: MaxCompletionTime - MinStartTime."""
+    if not jobs:
+        return 0.0
+    _require_completed(jobs)
+    return max(j.end_time for j in jobs) - min(j.start_time for j in jobs)
+
+
+def utilization(jobs: Sequence[Job], system_size: int) -> float:
+    """Equation 2: executed work / (makespan x system size)."""
+    span = makespan(jobs)
+    if span <= 0:
+        return 0.0
+    work = sum(j.nodes * (j.end_time - j.start_time) for j in jobs)
+    return work / (span * system_size)
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """One simulation's headline numbers."""
+
+    n_jobs: int
+    avg_wait: float
+    avg_turnaround: float
+    avg_slowdown: float
+    utilization: float
+    makespan: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "n_jobs": self.n_jobs,
+            "avg_wait": self.avg_wait,
+            "avg_turnaround": self.avg_turnaround,
+            "avg_slowdown": self.avg_slowdown,
+            "utilization": self.utilization,
+            "makespan": self.makespan,
+        }
+
+
+def summarize(result: SimulationResult) -> SummaryStats:
+    jobs = result.jobs
+    return SummaryStats(
+        n_jobs=len(jobs),
+        avg_wait=average_wait(jobs),
+        avg_turnaround=average_turnaround(jobs),
+        avg_slowdown=average_slowdown(jobs),
+        utilization=utilization(jobs, result.cluster_size),
+        makespan=makespan(jobs),
+    )

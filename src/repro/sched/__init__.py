@@ -1,0 +1,50 @@
+"""Scheduling policies: the CPlant baseline, its fairness-directed
+variants, and the conservative-backfilling family."""
+
+from .base import BaseScheduler
+from .conservative import ConservativeScheduler
+from .depthk import DepthKScheduler
+from .dynamic import DynamicReservationScheduler
+from .easy import EasyBackfillScheduler, head_reservation
+from .fairshare import DAY, FairshareTracker
+from .nobackfill import NoBackfillScheduler
+from .noguarantee import NoGuaranteeScheduler
+from .queues import (
+    fcfs_order,
+    make_fairshare_order,
+    shortest_first_order,
+    widest_first_order,
+)
+from .registry import (
+    CONSERVATIVE_POLICIES,
+    MINOR_POLICIES,
+    PAPER_POLICIES,
+    REGISTRY,
+    PolicySpec,
+    get_policy,
+    policy_names,
+)
+
+__all__ = [
+    "BaseScheduler",
+    "CONSERVATIVE_POLICIES",
+    "ConservativeScheduler",
+    "DAY",
+    "DepthKScheduler",
+    "DynamicReservationScheduler",
+    "EasyBackfillScheduler",
+    "FairshareTracker",
+    "MINOR_POLICIES",
+    "NoBackfillScheduler",
+    "NoGuaranteeScheduler",
+    "PAPER_POLICIES",
+    "PolicySpec",
+    "REGISTRY",
+    "fcfs_order",
+    "get_policy",
+    "head_reservation",
+    "make_fairshare_order",
+    "policy_names",
+    "shortest_first_order",
+    "widest_first_order",
+]

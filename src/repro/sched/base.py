@@ -1,0 +1,85 @@
+"""Scheduler base class: shared queue/bookkeeping machinery.
+
+Concrete policies override :meth:`schedule` (and optionally the enqueue /
+completion hooks).  The base class owns:
+
+* the waiting-job list,
+* the fairshare usage tracker and its daily decay tick,
+* start bookkeeping (usage charging, queue removal).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.engine import Engine, SchedulerProtocol
+from ..core.events import EventKind
+from ..core.job import Job
+from .fairshare import DAY, FairshareTracker
+from .queues import OrderingPolicy, fcfs_order, make_fairshare_order
+
+
+class BaseScheduler(SchedulerProtocol):
+    """Common scaffolding for all policies in this package."""
+
+    #: human-readable policy name; subclasses override.
+    name = "base"
+
+    def __init__(
+        self,
+        priority: str = "fairshare",
+        decay_factor: float = 0.5,
+        decay_interval: float = DAY,
+    ) -> None:
+        self.tracker = FairshareTracker(decay_factor, decay_interval)
+        if priority == "fairshare":
+            self.ordering: OrderingPolicy = make_fairshare_order(self.tracker)
+        elif priority == "fcfs":
+            self.ordering = fcfs_order
+        else:
+            raise ValueError(f"unknown priority policy: {priority!r}")
+        self.priority = priority
+        self.queue: List[Job] = []
+        self.engine: Optional[Engine] = None
+
+    # -- engine protocol ---------------------------------------------------------
+
+    def attach(self, engine: Engine) -> None:
+        self.engine = engine
+        self.cluster = engine.cluster
+        if self.tracker.decay_factor < 1.0:
+            engine.add_timer(self.tracker.decay_interval, None, EventKind.DECAY_TICK)
+
+    def enqueue(self, job: Job, now: float) -> None:
+        self.queue.append(job)
+
+    def on_completion(self, job: Job, now: float) -> None:
+        self.tracker.job_finished(job, now)
+
+    def on_timer(self, payload, now: float, kind: EventKind) -> None:
+        if kind is EventKind.DECAY_TICK:
+            self.tracker.decay(now)
+            # keep ticking as long as anything remains to simulate
+            if self.engine.events:
+                self.engine.add_timer(
+                    now + self.tracker.decay_interval, None, EventKind.DECAY_TICK
+                )
+
+    def schedule(self, now: float, reason: str) -> None:
+        raise NotImplementedError
+
+    # -- helpers for subclasses -----------------------------------------------------
+
+    def start(self, job: Job, now: float) -> None:
+        """Start a queued job: allocate, charge usage, drop from the queue."""
+        self.queue.remove(job)
+        self.engine.start_job(job)
+        self.tracker.job_started(job, now)
+
+    def ordered_queue(self, now: float) -> List[Job]:
+        return self.ordering(self.queue, now)
+
+    def waiting_jobs(self) -> List[Job]:
+        """All jobs the scheduler is holding (subclasses with secondary
+        queues extend this); used by fairness observers and LOC."""
+        return list(self.queue)

@@ -1,0 +1,148 @@
+"""Conservative backfilling with fairshare queue priority (Section 5.3).
+
+Every job receives an internal reservation the moment it arrives (earliest
+fit in the availability profile using its wall-clock limit).  At each
+scheduling event the queue is processed in fairshare priority order and
+each job tries to *improve* its reservation; a reservation is never made
+worse, so the arrival-time reservation is an upper bound on the wait — no
+starvation queue needed.
+
+Inaccurate user estimates make this interesting in two directions:
+
+* jobs finishing *early* leave holes; the improvement pass ("compression")
+  lets queued jobs slide into them, with the fairshare order deciding who
+  gets first pick — this is where the queue priority still matters;
+* jobs running *past* their estimate (CPlant allowed this) invalidate the
+  profile; we then rebuild it, bumping the overrunning job's predicted end
+  by ``overrun_extension`` at each event until it actually finishes, the
+  standard trick in backfilling simulators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.job import Job
+from ..core.profile import ReservationProfile
+from .base import BaseScheduler
+
+#: float-comparison slack for "reservation time has arrived"
+EPS = 1e-6
+
+
+class ConservativeScheduler(BaseScheduler):
+    """Conservative backfilling; ``priority`` picks the improvement order."""
+
+    def __init__(
+        self,
+        priority: str = "fairshare",
+        overrun_extension: float = 900.0,
+        **kw,
+    ) -> None:
+        super().__init__(priority=priority, **kw)
+        if overrun_extension <= 0:
+            raise ValueError("overrun_extension must be positive")
+        self.overrun_extension = overrun_extension
+        self.name = f"cons.{priority}"
+        self.profile: ReservationProfile | None = None
+        #: queued-job reservations: job id -> (start, end)
+        self.reservations: Dict[int, Tuple[float, float]] = {}
+        #: running-job predicted completion times (profile occupation ends)
+        self.predicted_end: Dict[int, float] = {}
+
+    def attach(self, engine) -> None:
+        super().attach(engine)
+        self.profile = ReservationProfile(self.cluster.size)
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def enqueue(self, job: Job, now: float) -> None:
+        super().enqueue(job, now)
+        start = self.profile.earliest_fit(job.nodes, job.wcl, now)
+        self.profile.reserve(start, start + job.wcl, job.nodes)
+        self.reservations[job.id] = (start, start + job.wcl)
+
+    def start(self, job: Job, now: float) -> None:
+        # the reservation interval simply becomes the running occupation
+        res_start, res_end = self.reservations.pop(job.id)
+        if res_start > now + EPS:
+            raise RuntimeError(
+                f"job {job.id} started before its reservation ({res_start} > {now})"
+            )
+        self.predicted_end[job.id] = res_end
+        super().start(job, now)
+
+    def on_completion(self, job: Job, now: float) -> None:
+        super().on_completion(job, now)
+        pe = self.predicted_end.pop(job.id)
+        if pe > now:
+            # finished early: give the hole back
+            self.profile.release(now, pe, job.nodes)
+
+    # -- scheduling pass -----------------------------------------------------------
+
+    def schedule(self, now: float, reason: str) -> None:
+        self.profile.advance(now)
+        if self._has_overrun(now) or self._has_overdue(now):
+            self._rebuild(now)
+        elif reason == "completion":
+            self._improve(now)
+        self._start_due(now)
+        self.profile.coalesce()
+
+    def _has_overrun(self, now: float) -> bool:
+        return any(pe <= now for pe in self.predicted_end.values())
+
+    def _has_overdue(self, now: float) -> bool:
+        """A reservation whose start slid into the past without the job
+        starting: only possible after an overrun stall (the reservation was
+        anchored at a bumped prediction no event ever fired at).  The
+        no-worsening contract of the improvement pass does not apply; the
+        schedule must be rebuilt."""
+        return any(s < now - EPS for s, _ in self.reservations.values())
+
+    def _rebuild(self, now: float) -> None:
+        """Recompute the whole profile: running occupations with refreshed
+        predictions, then queued reservations re-placed in priority order."""
+        self.profile = ReservationProfile(self.cluster.size, now)
+        for rj in self.cluster.running_jobs():
+            pe = self.predicted_end[rj.id]
+            if pe <= now:
+                pe = now + self.overrun_extension
+                self.predicted_end[rj.id] = pe
+            self.profile.reserve(now, pe, rj.nodes)
+        self.reservations = {}
+        for job in self.ordering(self.queue, now):
+            start = self.profile.earliest_fit(job.nodes, job.wcl, now)
+            self.profile.reserve(start, start + job.wcl, job.nodes)
+            self.reservations[job.id] = (start, start + job.wcl)
+
+    def _improve(self, now: float) -> None:
+        """Compression: each job re-places into the earliest fit, in priority
+        order.  Removing a reservation before re-placing guarantees the new
+        start is never later than the old one."""
+        for job in self.ordering(self.queue, now):
+            old_start, old_end = self.reservations[job.id]
+            self.profile.release(max(old_start, now), old_end, job.nodes)
+            start = self.profile.earliest_fit(job.nodes, job.wcl, now)
+            if start > old_start + EPS:
+                raise RuntimeError(
+                    f"compression worsened job {job.id}: {old_start} -> {start}"
+                )
+            self.profile.reserve(start, start + job.wcl, job.nodes)
+            self.reservations[job.id] = (start, start + job.wcl)
+
+    def _start_due(self, now: float) -> None:
+        due = [
+            job for job in self.queue
+            if self.reservations[job.id][0] <= now + EPS
+        ]
+        due.sort(key=lambda j: (self.reservations[j.id][0], j.submit_time, j.id))
+        for job in due:
+            if not self.cluster.fits(job):
+                raise RuntimeError(
+                    f"profile/cluster disagree: job {job.id} reserved at "
+                    f"{self.reservations[job.id][0]} but only "
+                    f"{self.cluster.free_nodes} nodes free at {now}"
+                )
+            self.start(job, now)

@@ -1,0 +1,129 @@
+"""The baseline CPlant scheduler: no-guarantee backfilling with a
+starvation queue (Section 2.1) plus the paper's "minor change" knobs
+(Sections 5.1–5.2 via configuration).
+
+Mechanics reproduced from the paper:
+
+* The main queue is processed in fairshare priority order at every
+  scheduling event; any job with sufficient free nodes starts — i.e. *no
+  guarantee* backfilling (no internal reservations at all).
+* A job that has waited ``starvation_threshold`` seconds (24 h originally,
+  72 h in the ``cplant72.*`` variants) moves to a secondary *starvation
+  queue* kept in FCFS order.  The starvation head receives an aggressive
+  (EASY-style) internal reservation, so its progress is guaranteed; main-
+  queue jobs may only start if they do not delay that reservation.
+* With ``entrance="fair"`` (the ``.fair`` variants), jobs of "heavy" users
+  — decayed usage above ``heavy_factor`` x the mean active usage — are
+  temporarily barred from the starvation queue and re-checked every
+  ``recheck_interval`` seconds as their usage decays.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.events import EventKind
+from ..core.job import Job, JobState
+from .base import BaseScheduler
+from .easy import head_reservation
+from .fairshare import DAY
+from .queues import seniority_order
+
+
+class NoGuaranteeScheduler(BaseScheduler):
+    """CPlant baseline and its starvation-queue variants."""
+
+    def __init__(
+        self,
+        starvation_threshold: float = 24 * 3600.0,
+        entrance: str = "all",
+        heavy_factor: float = 1.0,
+        recheck_interval: float = 3600.0,
+        **kw,
+    ) -> None:
+        super().__init__(priority="fairshare", **kw)
+        if entrance not in ("all", "fair"):
+            raise ValueError(f"entrance must be 'all' or 'fair', got {entrance!r}")
+        if starvation_threshold <= 0:
+            raise ValueError("starvation_threshold must be positive")
+        self.starvation_threshold = starvation_threshold
+        self.entrance = entrance
+        self.heavy_factor = heavy_factor
+        self.recheck_interval = recheck_interval
+        self.starvation_queue: List[Job] = []
+        h = int(starvation_threshold // 3600)
+        self.name = f"cplant{h}.{entrance}"
+
+    # -- queue management -------------------------------------------------------
+
+    def enqueue(self, job: Job, now: float) -> None:
+        super().enqueue(job, now)
+        # chunk continuations inherit their original job's seniority, so a
+        # split job that already waited out the threshold is immediately
+        # eligible again rather than restarting its starvation clock
+        eligible_at = max(now, job.seniority + self.starvation_threshold)
+        self.engine.add_timer(eligible_at, job, EventKind.STARVATION_TIMER)
+
+    def on_timer(self, payload, now: float, kind: EventKind) -> None:
+        if kind is not EventKind.STARVATION_TIMER:
+            super().on_timer(payload, now, kind)
+            return
+        job: Job = payload
+        if job.state is not JobState.QUEUED or job not in self.queue:
+            return  # started (or already promoted) in the meantime
+        if self._may_enter_starvation(job, now):
+            self.queue.remove(job)
+            self.starvation_queue.append(job)
+        else:
+            # barred heavy user: poll again as usage decays
+            self.engine.add_timer(
+                now + self.recheck_interval, job, EventKind.STARVATION_TIMER
+            )
+
+    def _may_enter_starvation(self, job: Job, now: float) -> bool:
+        if self.entrance == "all":
+            return True
+        return not self.tracker.is_heavy(job.user_id, now, self.heavy_factor)
+
+    def waiting_jobs(self) -> List[Job]:
+        return self.queue + self.starvation_queue
+
+    # -- scheduling pass ----------------------------------------------------------
+
+    def start(self, job: Job, now: float) -> None:
+        # jobs can live in either queue
+        if job in self.starvation_queue:
+            self.starvation_queue.remove(job)
+            self.engine.start_job(job)
+            self.tracker.job_started(job, now)
+        else:
+            super().start(job, now)
+
+    def schedule(self, now: float, reason: str) -> None:
+        while self._one_round(now):
+            pass
+
+    def _one_round(self, now: float) -> bool:
+        """One greedy round; True if a job was started."""
+        starv = seniority_order(self.starvation_queue, now)
+        if starv:
+            head = starv[0]
+            if self.cluster.fits(head):
+                self.start(head, now)
+                return True
+            shadow, extra = head_reservation(
+                head.nodes, self.cluster.free_nodes, now, self.cluster.running_jobs()
+            )
+            for job in starv[1:] + self.ordered_queue(now):
+                if not self.cluster.fits(job):
+                    continue
+                if now + job.wcl <= shadow or job.nodes <= extra:
+                    self.start(job, now)
+                    return True
+            return False
+        # pure no-guarantee backfilling: greedy in fairshare order
+        for job in self.ordered_queue(now):
+            if self.cluster.fits(job):
+                self.start(job, now)
+                return True
+        return False

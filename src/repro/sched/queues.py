@@ -1,0 +1,47 @@
+"""Queue ordering policies.
+
+Two orders matter in the paper: FCFS (arrival order; the starvation queue
+and the classic baselines) and fairshare (decayed per-user usage; the main
+CPlant queue).  A policy is just a callable producing a sorted job list;
+both are deterministic with (submit_time, id) tie-breaks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List
+
+from ..core.job import Job
+from .fairshare import FairshareTracker
+
+#: ordering callable signature: (jobs, now) -> sorted list
+OrderingPolicy = Callable[[Iterable[Job], float], List[Job]]
+
+
+def fcfs_order(jobs: Iterable[Job], now: float) -> List[Job]:
+    """First-come-first-serve: by submit time, then id."""
+    return sorted(jobs, key=lambda j: (j.submit_time, j.id))
+
+
+def seniority_order(jobs: Iterable[Job], now: float) -> List[Job]:
+    """FCFS by seniority: chunk continuations keep their original job's
+    place in line (the starvation queue's order)."""
+    return sorted(jobs, key=lambda j: (j.seniority, j.id))
+
+
+def make_fairshare_order(tracker: FairshareTracker) -> OrderingPolicy:
+    """Fairshare order bound to a live usage tracker."""
+
+    def order(jobs: Iterable[Job], now: float) -> List[Job]:
+        return tracker.order(jobs, now)
+
+    return order
+
+
+def widest_first_order(jobs: Iterable[Job], now: float) -> List[Job]:
+    """Widest-job-first (extension policy, not in the paper's evaluation)."""
+    return sorted(jobs, key=lambda j: (-j.nodes, j.submit_time, j.id))
+
+
+def shortest_first_order(jobs: Iterable[Job], now: float) -> List[Job]:
+    """Shortest-estimate-first (extension policy)."""
+    return sorted(jobs, key=lambda j: (j.wcl, j.submit_time, j.id))

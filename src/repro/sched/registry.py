@@ -1,0 +1,158 @@
+"""Named scheduling policies — the paper's nine plus reference points.
+
+Policy keys follow the paper's Section 5.5 naming:
+``cplant<starve-hours>.<max-runtime>.<entrance>`` for the baseline family
+and ``cons[dyn].<max-runtime>`` for the conservative family.  A policy is a
+scheduler factory plus an optional workload transform parameter (the 72 h
+maximum-runtime split, applied by the experiment runner before simulation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from .base import BaseScheduler
+from .conservative import ConservativeScheduler
+from .depthk import DepthKScheduler
+from .dynamic import DynamicReservationScheduler
+from .easy import EasyBackfillScheduler
+from .nobackfill import NoBackfillScheduler
+from .noguarantee import NoGuaranteeScheduler
+
+HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """A named policy: scheduler factory + workload transform parameter."""
+
+    key: str
+    factory: Callable[..., BaseScheduler]
+    #: split jobs longer than this many seconds (None = no limit)
+    max_runtime: Optional[float]
+    description: str
+
+    def make_scheduler(self, **overrides) -> BaseScheduler:
+        return self.factory(**overrides)
+
+
+def _cplant(starve_h: float, entrance: str) -> Callable[..., BaseScheduler]:
+    def factory(**kw) -> BaseScheduler:
+        params = {"starvation_threshold": starve_h * HOUR, "entrance": entrance}
+        params.update(kw)  # explicit overrides win (ablation sweeps)
+        return NoGuaranteeScheduler(**params)
+
+    return factory
+
+
+def _cons(**fixed) -> Callable[..., BaseScheduler]:
+    def factory(**kw) -> BaseScheduler:
+        return ConservativeScheduler(**{**fixed, **kw})
+
+    return factory
+
+
+def _consdyn(**fixed) -> Callable[..., BaseScheduler]:
+    def factory(**kw) -> BaseScheduler:
+        return DynamicReservationScheduler(**{**fixed, **kw})
+
+    return factory
+
+
+_SPECS: Tuple[PolicySpec, ...] = (
+    # -- the paper's nine policies (Section 5.5, in order) --
+    PolicySpec(
+        "cplant24.nomax.all", _cplant(24, "all"), None,
+        "original CPlant scheduler: no-guarantee backfill, fairshare order, "
+        "starvation queue after 24 h, all users eligible",
+    ),
+    PolicySpec(
+        "cplant72.nomax.all", _cplant(72, "all"), None,
+        "original scheduler, starvation-queue entry delayed to 72 h",
+    ),
+    PolicySpec(
+        "cplant24.nomax.fair", _cplant(24, "fair"), None,
+        "original scheduler, heavy/unfair users barred from the starvation queue",
+    ),
+    PolicySpec(
+        "cplant24.72max.all", _cplant(24, "all"), 72 * HOUR,
+        "original scheduler plus 72 h maximum runtime (long jobs split)",
+    ),
+    PolicySpec(
+        "cplant72.72max.fair", _cplant(72, "fair"), 72 * HOUR,
+        "all three minor modifications combined",
+    ),
+    PolicySpec(
+        "cons.nomax", _cons(), None,
+        "conservative backfilling with fairshare queuing priority",
+    ),
+    PolicySpec(
+        "cons.72max", _cons(), 72 * HOUR,
+        "conservative backfilling plus 72 h runtime limits",
+    ),
+    PolicySpec(
+        "consdyn.nomax", _consdyn(), None,
+        "conservative backfilling with dynamic reservations",
+    ),
+    PolicySpec(
+        "consdyn.72max", _consdyn(), 72 * HOUR,
+        "conservative dynamic reservations plus 72 h runtime limits",
+    ),
+    # -- reference points beyond the paper's evaluated set --
+    PolicySpec(
+        "fcfs.nobackfill", lambda **kw: NoBackfillScheduler(priority="fcfs", **kw),
+        None, "strict FCFS without backfilling (Figure 1 baseline)",
+    ),
+    PolicySpec(
+        "fairshare.nobackfill",
+        lambda **kw: NoBackfillScheduler(priority="fairshare", **kw),
+        None, "strict fairshare-order scheduling without backfilling",
+    ),
+    PolicySpec(
+        "easy.fcfs", lambda **kw: EasyBackfillScheduler(priority="fcfs", **kw),
+        None, "EASY (aggressive) backfilling, FCFS priority",
+    ),
+    PolicySpec(
+        "easy.fairshare",
+        lambda **kw: EasyBackfillScheduler(priority="fairshare", **kw),
+        None, "EASY (aggressive) backfilling, fairshare priority",
+    ),
+    PolicySpec(
+        "depth2.fairshare",
+        lambda **kw: DepthKScheduler(depth=2, **kw),
+        None, "reservation-depth-2 backfilling, fairshare priority "
+        "(the production middle ground the paper's introduction describes)",
+    ),
+    PolicySpec(
+        "depth4.fairshare",
+        lambda **kw: DepthKScheduler(depth=4, **kw),
+        None, "reservation-depth-4 backfilling, fairshare priority",
+    ),
+)
+
+REGISTRY: Dict[str, PolicySpec] = {spec.key: spec for spec in _SPECS}
+
+#: the nine policies of Section 5.5, in the paper's order
+PAPER_POLICIES: Tuple[str, ...] = tuple(s.key for s in _SPECS[:9])
+
+#: Figures 8-13 ("minor changes") policy set
+MINOR_POLICIES: Tuple[str, ...] = PAPER_POLICIES[:5]
+
+#: Figures 16/18 conservative-comparison set (baseline + conservative four)
+CONSERVATIVE_POLICIES: Tuple[str, ...] = (
+    "cplant24.nomax.all", "cons.nomax", "consdyn.nomax", "cons.72max", "consdyn.72max",
+)
+
+
+def get_policy(key: str) -> PolicySpec:
+    try:
+        return REGISTRY[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {key!r}; known: {', '.join(sorted(REGISTRY))}"
+        ) from None
+
+
+def policy_names() -> Tuple[str, ...]:
+    return tuple(REGISTRY)

@@ -1,0 +1,30 @@
+"""Workloads: the CPlant/Ross characterization, SWF I/O, the calibrated
+synthetic generator, and workload transforms."""
+
+from . import categories, cplant
+from .generator import GeneratorConfig, generate_cplant_workload, random_workload
+from .model import Workload
+from .swf import SwfFormatError, SwfHeader, read_swf, write_swf
+from .transforms import (
+    filter_width,
+    parent_view,
+    shift_to_zero,
+    split_by_runtime_limit,
+)
+
+__all__ = [
+    "GeneratorConfig",
+    "SwfFormatError",
+    "SwfHeader",
+    "Workload",
+    "categories",
+    "cplant",
+    "filter_width",
+    "generate_cplant_workload",
+    "parent_view",
+    "random_workload",
+    "read_swf",
+    "shift_to_zero",
+    "split_by_runtime_limit",
+    "write_swf",
+]

@@ -1,0 +1,171 @@
+"""Workload analysis beyond the category tables.
+
+Section 2.2 characterizes the trace along several axes (arrival pattern,
+user population, estimate quality); this module computes those summaries
+for any workload — generated or parsed from SWF — so a real trace dropped
+into the pipeline can be compared against the paper's description before
+simulating on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from .model import Workload
+
+DAY = 86_400.0
+HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class EstimateQuality:
+    """How users estimate (Figures 5-7 in summary form)."""
+
+    exact_fraction: float          # WCL == runtime (within 1%)
+    over_fraction: float           # WCL > runtime
+    under_fraction: float          # WCL < runtime (killed/aborted/overran)
+    median_factor: float           # median WCL/runtime over positive runtimes
+    p90_factor: float
+    median_factor_short: float     # jobs under 15 min
+    median_factor_long: float      # jobs over 1 day
+
+
+def estimate_quality(workload: Workload) -> EstimateQuality:
+    rt = workload.runtimes()
+    wcl = workload.wcls()
+    pos = rt > 0
+    f = wcl[pos] / rt[pos]
+    near = np.abs(wcl - rt) <= 0.01 * np.maximum(rt, 1.0)
+    short = pos & (rt < 15 * 60)
+    long_ = pos & (rt > DAY)
+
+    def med(mask):
+        sel = wcl[mask] / rt[mask]
+        return float(np.median(sel)) if mask.any() else float("nan")
+
+    return EstimateQuality(
+        exact_fraction=float(near.mean()),
+        over_fraction=float(((wcl > rt) & ~near).mean()),
+        under_fraction=float(((wcl < rt) & ~near).mean()),
+        median_factor=float(np.median(f)) if pos.any() else float("nan"),
+        p90_factor=float(np.percentile(f, 90)) if pos.any() else float("nan"),
+        median_factor_short=med(short),
+        median_factor_long=med(long_),
+    )
+
+
+@dataclass(frozen=True)
+class ArrivalPattern:
+    """Submission rhythm: day-of-week and hour-of-day concentrations."""
+
+    jobs_per_day: float
+    weekday_fraction: float        # Mon-Fri share of submissions
+    work_hours_fraction: float     # 08:00-18:00 share
+    busiest_hour: int
+    peak_day_jobs: int
+
+
+def arrival_pattern(workload: Workload) -> ArrivalPattern:
+    t = workload.submit_times()
+    if len(t) == 0:
+        return ArrivalPattern(0.0, 0.0, 0.0, 0, 0)
+    day_idx = (t // DAY).astype(np.int64)
+    dow = day_idx % 7  # day 0 of the trace taken as Monday
+    hour = ((t % DAY) // HOUR).astype(np.int64)
+    span_days = max((t.max() - t.min()) / DAY, 1e-9)
+    _, per_day = np.unique(day_idx, return_counts=True)
+    hour_counts = np.bincount(hour, minlength=24)
+    return ArrivalPattern(
+        jobs_per_day=len(t) / span_days,
+        weekday_fraction=float((dow < 5).mean()),
+        work_hours_fraction=float(((hour >= 8) & (hour < 18)).mean()),
+        busiest_hour=int(hour_counts.argmax()),
+        peak_day_jobs=int(per_day.max()),
+    )
+
+
+@dataclass(frozen=True)
+class UserActivity:
+    """User-population shape driving the fairshare dynamics."""
+
+    n_users: int
+    top_user_job_share: float      # share of jobs by the most active user
+    top_user_work_share: float     # share of proc-seconds
+    top5_work_share: float
+    gini_work: float               # inequality of per-user work
+
+
+def _gini(values: np.ndarray) -> float:
+    if len(values) == 0:
+        return 0.0
+    v = np.sort(values.astype(np.float64))
+    total = v.sum()
+    if total <= 0:
+        return 0.0
+    n = len(v)
+    cum = np.cumsum(v)
+    return float((n + 1 - 2 * (cum / total).sum()) / n)
+
+
+def user_activity(workload: Workload) -> UserActivity:
+    users = workload.users()
+    if len(users) == 0:
+        return UserActivity(0, 0.0, 0.0, 0.0, 0.0)
+    areas = workload.nodes() * workload.runtimes()
+    uniq = np.unique(users)
+    work = np.array([areas[users == u].sum() for u in uniq])
+    counts = np.array([(users == u).sum() for u in uniq])
+    total_work = max(work.sum(), 1e-12)
+    top = np.sort(work)[::-1]
+    return UserActivity(
+        n_users=len(uniq),
+        top_user_job_share=float(counts.max() / len(users)),
+        top_user_work_share=float(top[0] / total_work),
+        top5_work_share=float(top[:5].sum() / total_work),
+        gini_work=_gini(work),
+    )
+
+
+def analyze(workload: Workload) -> Dict[str, object]:
+    """All summaries in one dictionary (the CLI's ``analyze`` output)."""
+    return {
+        "describe": workload.describe(),
+        "estimates": estimate_quality(workload),
+        "arrivals": arrival_pattern(workload),
+        "users": user_activity(workload),
+    }
+
+
+def render_analysis(workload: Workload) -> str:
+    est = estimate_quality(workload)
+    arr = arrival_pattern(workload)
+    usr = user_activity(workload)
+    lines = [
+        workload.describe(),
+        "",
+        "estimate quality (Figures 5-7 summary):",
+        f"  exact / over / under   : {100 * est.exact_fraction:.1f}% / "
+        f"{100 * est.over_fraction:.1f}% / {100 * est.under_fraction:.1f}%",
+        f"  median factor          : {est.median_factor:.2f} "
+        f"(short jobs {est.median_factor_short:.1f}, long jobs "
+        f"{est.median_factor_long:.2f})",
+        f"  p90 factor             : {est.p90_factor:.1f}",
+        "",
+        "arrival pattern:",
+        f"  jobs/day               : {arr.jobs_per_day:.1f} "
+        f"(peak day {arr.peak_day_jobs})",
+        f"  weekday share          : {100 * arr.weekday_fraction:.1f}%",
+        f"  08-18h share           : {100 * arr.work_hours_fraction:.1f}% "
+        f"(busiest hour {arr.busiest_hour:02d}:00)",
+        "",
+        "user population (fairshare relevance):",
+        f"  users                  : {usr.n_users}",
+        f"  top user               : {100 * usr.top_user_job_share:.1f}% of jobs, "
+        f"{100 * usr.top_user_work_share:.1f}% of work",
+        f"  top-5 work share       : {100 * usr.top5_work_share:.1f}%",
+        f"  Gini (per-user work)   : {usr.gini_work:.2f}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Shared fixtures: small deterministic jobs and workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.job import Job
+from repro.workload.generator import random_workload
+
+
+def make_job(
+    id: int = 1,
+    submit: float = 0.0,
+    nodes: int = 1,
+    runtime: float = 100.0,
+    wcl: float | None = None,
+    user: int = 1,
+    **kw,
+) -> Job:
+    """Terse job factory for tests."""
+    return Job(
+        id=id,
+        submit_time=submit,
+        nodes=nodes,
+        runtime=runtime,
+        wcl=wcl if wcl is not None else runtime,
+        user_id=user,
+        **kw,
+    )
+
+
+@pytest.fixture
+def job_factory():
+    return make_job
+
+
+@pytest.fixture
+def small_workload():
+    """120 jobs on 32 nodes at moderate load; completes in well under 1 s."""
+    return random_workload(120, system_size=32, seed=42, load=0.9)
+
+
+@pytest.fixture
+def heavy_workload():
+    """250 jobs on 64 nodes at high load: real queueing dynamics."""
+    return random_workload(250, system_size=64, seed=11, load=1.3)

@@ -1,0 +1,147 @@
+"""Tests for the CPA allocation substrate."""
+
+import pytest
+
+from repro.alloc.allocators import (
+    BestFitAllocator,
+    FirstFitAllocator,
+    RandomAllocator,
+    SpanMinimizingAllocator,
+    _free_intervals,
+)
+from repro.alloc.metrics import (
+    average_span_ratio,
+    fragmentation_of,
+    placement_stats,
+)
+from repro.alloc.placed_cluster import PlacedCluster, Placement
+from repro.core.cluster import AllocationError
+from repro.core.engine import Engine
+from repro.sched.noguarantee import NoGuaranteeScheduler
+from tests.conftest import make_job
+
+import numpy as np
+
+
+class TestFreeIntervals:
+    def test_single_run(self):
+        assert _free_intervals(np.array([3, 4, 5])) == [(0, 3)]
+
+    def test_multiple_runs(self):
+        out = _free_intervals(np.array([0, 1, 5, 6, 7, 9]))
+        assert out == [(0, 2), (2, 3), (5, 1)]
+
+    def test_empty(self):
+        assert _free_intervals(np.array([], dtype=np.int64)) == []
+
+
+class TestStrategies:
+    FREE = [0, 1, 2, 5, 6, 7, 8, 9, 15]  # runs of 3, 5, 1
+
+    def test_first_fit_prefers_lowest_fitting_run(self):
+        assert FirstFitAllocator().select(self.FREE, 2) == [0, 1]
+        assert FirstFitAllocator().select(self.FREE, 4) == [5, 6, 7, 8]
+
+    def test_first_fit_fallback_when_fragmented(self):
+        # no run holds 7; greedy from the left
+        assert FirstFitAllocator().select(self.FREE, 7) == [0, 1, 2, 5, 6, 7, 8]
+
+    def test_best_fit_prefers_tightest_run(self):
+        # a 1-wide request should take the singleton run at 15
+        assert BestFitAllocator().select(self.FREE, 1) == [15]
+        # a 3-wide request exactly fits the 3-run
+        assert BestFitAllocator().select(self.FREE, 3) == [0, 1, 2]
+
+    def test_span_min_finds_compact_window(self):
+        assert SpanMinimizingAllocator().select(self.FREE, 4) == [5, 6, 7, 8]
+        # 6 nodes: window [2..9] (span 8) beats [0..8] (span 9... compare)
+        sel = SpanMinimizingAllocator().select(self.FREE, 6)
+        assert len(sel) == 6
+        span = sel[-1] - sel[0] + 1
+        # brute-force optimum
+        free = sorted(self.FREE)
+        best = min(free[i + 5] - free[i] + 1 for i in range(len(free) - 5))
+        assert span == best
+
+    def test_random_is_deterministic_per_seed(self):
+        a = RandomAllocator(seed=3).select(self.FREE, 4)
+        b = RandomAllocator(seed=3).select(self.FREE, 4)
+        assert a == b
+        assert len(set(a)) == 4
+
+    def test_insufficient_nodes_raises(self):
+        with pytest.raises(ValueError, match="only"):
+            FirstFitAllocator().select([1, 2], 3)
+
+    def test_bad_count_raises(self):
+        with pytest.raises(ValueError):
+            FirstFitAllocator().select([1, 2], 0)
+
+
+class TestPlacedCluster:
+    def test_lifecycle_tracks_nodes(self):
+        c = PlacedCluster(8)
+        a = make_job(id=1, nodes=3)
+        c.start(a, 0.0)
+        assert c.nodes_of(a) == [0, 1, 2]
+        assert c.free_node_indices() == [3, 4, 5, 6, 7]
+        c.finish(a, 10.0)
+        assert c.free_node_indices() == list(range(8))
+        assert len(c.placements) == 1
+        assert c.placements[0].span == 3
+
+    def test_fragmentation_emerges_and_heals(self):
+        c = PlacedCluster(8)
+        a, b, d = (make_job(id=i, nodes=2) for i in (1, 2, 3))
+        c.start(a, 0.0)  # 0,1
+        c.start(b, 0.0)  # 2,3
+        c.start(d, 0.0)  # 4,5
+        c.finish(b, 1.0)  # hole at 2,3
+        assert fragmentation_of(c.free_node_indices()) > 0.0
+        wide = make_job(id=4, nodes=4)
+        c.start(wide, 2.0)  # must use 2,3,6,7 -> non-contiguous
+        assert c.nodes_of(wide) == [2, 3, 6, 7]
+        c.check_invariants()
+
+    def test_nodes_of_requires_running(self):
+        c = PlacedCluster(8)
+        with pytest.raises(AllocationError):
+            c.nodes_of(make_job(id=1))
+
+    def test_drop_in_for_engine(self, small_workload):
+        cluster = PlacedCluster(small_workload.system_size,
+                                SpanMinimizingAllocator())
+        res = Engine(cluster, NoGuaranteeScheduler(), small_workload.jobs,
+                     validate=True).run()
+        assert len(cluster.placements) == len(small_workload)
+        stats = placement_stats(cluster.placements)
+        assert stats.mean_span_ratio >= 1.0
+        assert 0.0 <= stats.contiguous_fraction <= 1.0
+
+
+class TestAllocMetrics:
+    def test_fragmentation_bounds(self):
+        assert fragmentation_of([]) == 0.0
+        assert fragmentation_of([4, 5, 6]) == 0.0
+        frag = fragmentation_of([0, 2, 4, 6])
+        assert frag == pytest.approx(0.75)
+
+    def test_span_ratio_contiguous(self):
+        p = Placement(1, (3, 4, 5), 0.0, 10.0)
+        assert average_span_ratio([p]) == 1.0
+
+    def test_span_ratio_scattered(self):
+        p = Placement(1, (0, 9), 0.0, 10.0)
+        assert average_span_ratio([p]) == 5.0
+
+    def test_stats_weighting(self):
+        tight = Placement(1, (0, 1), 0.0, 1.0)          # tiny work
+        loose = Placement(2, (0, 7), 0.0, 1000.0)       # big work, ratio 4
+        st = placement_stats([tight, loose])
+        assert st.work_weighted_span_ratio > st.mean_span_ratio / 2
+        assert st.n_placements == 2
+
+    def test_stats_empty(self):
+        st = placement_stats([])
+        assert st.n_placements == 0
+        assert st.mean_span_ratio == 1.0

@@ -1,0 +1,64 @@
+"""CLI tests (argument wiring and output plumbing, small scales only)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_present(self):
+        parser = build_parser()
+        sub = {a.dest: a for a in parser._actions}["command"]
+        assert set(sub.choices) == {
+            "generate", "run", "compare", "figures", "tables", "policies",
+            "analyze", "export",
+        }
+
+    def test_run_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--policy", "bogus"])
+
+
+class TestCommands:
+    def test_policies_lists_all_nine(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        for key in ("cplant24.nomax.all", "cons.72max", "consdyn.nomax"):
+            assert key in out
+
+    def test_generate_writes_swf(self, tmp_path, capsys):
+        out = tmp_path / "t.swf"
+        rc = main(["generate", "--scale", "0.02", "--seed", "1",
+                   "--out", str(out)])
+        assert rc == 0
+        assert out.exists()
+        assert out.read_text().startswith("; Version: 2")
+
+    def test_run_prints_metrics(self, capsys):
+        rc = main(["run", "--scale", "0.02", "--seed", "1",
+                   "--policy", "cplant24.nomax.all"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "avg turnaround" in out
+        assert "percent unfair" in out
+
+    def test_run_from_swf(self, tmp_path, capsys):
+        swf = tmp_path / "t.swf"
+        main(["generate", "--scale", "0.02", "--seed", "1", "--out", str(swf)])
+        capsys.readouterr()
+        rc = main(["run", "--swf", str(swf), "--policy", "easy.fcfs"])
+        assert rc == 0
+        assert "utilization" in capsys.readouterr().out
+
+    def test_compare_subset(self, capsys):
+        rc = main(["compare", "--scale", "0.02", "--seed", "1",
+                   "--policies", "cplant24.nomax.all,cons.nomax"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cons.nomax" in out
+
+    def test_tables(self, capsys):
+        rc = main(["tables", "--scale", "0.02", "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 2" in out

@@ -1,0 +1,128 @@
+"""Tests for the calibrated synthetic CPlant workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.workload import cplant
+from repro.workload.generator import (
+    GeneratorConfig,
+    generate_cplant_workload,
+    random_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def full_trace():
+    return generate_cplant_workload(GeneratorConfig(scale=1.0), seed=3)
+
+
+class TestCalibration:
+    def test_table1_exact_at_full_scale(self, full_trace):
+        counts = full_trace.count_table()
+        assert (counts == cplant.TABLE1_COUNTS).all()
+
+    def test_table2_within_tolerance(self, full_trace):
+        hours = full_trace.proc_hours_table()
+        total_err = abs(hours.sum() - cplant.TOTAL_PROC_HOURS) / cplant.TOTAL_PROC_HOURS
+        assert total_err < 0.02
+        # cellwise: the big cells must match well (small cells can clamp)
+        big = cplant.TABLE2_PROC_HOURS > 10_000
+        rel = np.abs(hours[big] - cplant.TABLE2_PROC_HOURS[big]) / cplant.TABLE2_PROC_HOURS[big]
+        assert rel.max() < 0.25
+
+    def test_offered_load_near_paper(self, full_trace):
+        assert 0.6 < full_trace.offered_load() < 0.8
+
+    def test_span_matches_trace(self, full_trace):
+        assert abs(full_trace.span / 86400 - cplant.TRACE_DAYS) < 7.5
+
+    def test_weekly_profile_bursty(self, full_trace):
+        prof = full_trace.metadata["weekly_profile"]
+        offered = prof * full_trace.offered_load()
+        assert offered.max() > 1.1   # overload weeks exist (Figure 3)
+        assert offered.min() < 0.5   # lull weeks exist
+
+
+class TestEstimates:
+    def test_overestimation_wedge(self, full_trace):
+        """Figure 6: median factor falls with runtime."""
+        rt = full_trace.runtimes()
+        f = full_trace.wcls() / np.maximum(rt, 1.0)
+        short = f[(rt > 0) & (rt < 900)]
+        long_ = f[rt > 86400]
+        assert np.median(short) > 2 * np.median(long_)
+
+    def test_most_jobs_overestimate(self, full_trace):
+        ok = (full_trace.wcls() >= full_trace.runtimes()).mean()
+        assert ok > 0.9
+
+    def test_some_underestimates_exist(self, full_trace):
+        under = (full_trace.wcls() < 0.95 * full_trace.runtimes()).mean()
+        assert 0.005 < under < 0.1
+
+    def test_wcl_bounds_respected(self, full_trace):
+        cfg = GeneratorConfig()
+        assert full_trace.wcls().max() <= cfg.max_wcl
+        assert full_trace.wcls().min() >= cfg.min_wcl
+
+
+class TestScaling:
+    def test_scale_reduces_jobs_proportionally(self):
+        wl = generate_cplant_workload(GeneratorConfig(scale=0.25), seed=1)
+        ratio = len(wl) / cplant.TABLE_TOTAL_JOBS
+        assert 0.2 < ratio < 0.3
+
+    def test_scale_preserves_offered_load(self):
+        wl = generate_cplant_workload(GeneratorConfig(scale=0.25), seed=1)
+        assert 0.5 < wl.offered_load() < 0.9
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(scale=0.0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(scale=1.5)
+
+
+class TestDeterminism:
+    def test_same_seed_same_workload(self):
+        a = generate_cplant_workload(GeneratorConfig(scale=0.05), seed=9)
+        b = generate_cplant_workload(GeneratorConfig(scale=0.05), seed=9)
+        assert [(j.id, j.submit_time, j.nodes, j.runtime, j.wcl, j.user_id)
+                for j in a.jobs] == \
+               [(j.id, j.submit_time, j.nodes, j.runtime, j.wcl, j.user_id)
+                for j in b.jobs]
+
+    def test_different_seed_differs(self):
+        a = generate_cplant_workload(GeneratorConfig(scale=0.05), seed=1)
+        b = generate_cplant_workload(GeneratorConfig(scale=0.05), seed=2)
+        assert [j.submit_time for j in a.jobs] != [j.submit_time for j in b.jobs]
+
+
+class TestUsers:
+    def test_zipf_population(self, full_trace):
+        users, counts = np.unique(full_trace.users(), return_counts=True)
+        assert len(users) > 50
+        # heavy-tailed: the busiest user dominates the median user
+        assert counts.max() > 10 * np.median(counts)
+
+    def test_group_mapping_stable(self, full_trace):
+        pairs = {(j.user_id, j.group_id) for j in full_trace.jobs}
+        users = {u for u, _ in pairs}
+        assert len(pairs) == len(users)  # one group per user
+
+
+class TestRandomWorkload:
+    def test_basic_shape(self):
+        wl = random_workload(100, system_size=64, seed=0, load=1.0)
+        assert len(wl) == 100
+        assert wl.system_size == 64
+        assert all(1 <= j.nodes <= 32 for j in wl.jobs)
+
+    def test_load_controls_density(self):
+        light = random_workload(300, seed=0, load=0.3)
+        heavy = random_workload(300, seed=0, load=1.5)
+        assert light.offered_load() < heavy.offered_load()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            random_workload(0)

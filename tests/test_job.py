@@ -1,0 +1,112 @@
+"""Unit tests for the job model."""
+
+import pytest
+
+from repro.core.job import Job, JobState
+from tests.conftest import make_job
+
+
+class TestValidation:
+    def test_rejects_nonpositive_nodes(self):
+        with pytest.raises(ValueError, match="nodes"):
+            make_job(nodes=0)
+        with pytest.raises(ValueError, match="nodes"):
+            make_job(nodes=-4)
+
+    def test_rejects_negative_runtime(self):
+        with pytest.raises(ValueError, match="runtime"):
+            make_job(runtime=-1.0)
+
+    def test_zero_runtime_allowed(self):
+        # aborted jobs in real traces have zero runtime
+        job = make_job(runtime=0.0, wcl=60.0)
+        assert job.runtime == 0.0
+
+    def test_rejects_nonpositive_wcl(self):
+        with pytest.raises(ValueError, match="wcl"):
+            make_job(wcl=0.0)
+
+    def test_rejects_negative_submit(self):
+        with pytest.raises(ValueError, match="submit"):
+            make_job(submit=-5.0)
+
+
+class TestDerived:
+    def test_area(self):
+        assert make_job(nodes=4, runtime=100.0).area == 400.0
+
+    def test_requested_area_uses_wcl(self):
+        assert make_job(nodes=4, runtime=100.0, wcl=200.0).requested_area == 800.0
+
+    def test_overestimation_factor(self):
+        assert make_job(runtime=100.0, wcl=250.0).overestimation_factor == 2.5
+
+    def test_overestimation_factor_zero_runtime(self):
+        assert make_job(runtime=0.0, wcl=60.0).overestimation_factor == float("inf")
+
+    def test_wait_and_turnaround(self):
+        job = make_job(submit=50.0, runtime=100.0)
+        job.start_time = 80.0
+        job.end_time = 180.0
+        assert job.wait_time == 30.0
+        assert job.turnaround_time == 130.0
+
+    def test_wait_requires_start(self):
+        with pytest.raises(ValueError, match="not started"):
+            _ = make_job().wait_time
+
+    def test_turnaround_requires_completion(self):
+        with pytest.raises(ValueError, match="not completed"):
+            _ = make_job().turnaround_time
+
+
+class TestExpectedEnd:
+    def test_before_wcl(self):
+        job = make_job(runtime=500.0, wcl=1000.0)
+        job.start_time = 0.0
+        assert job.expected_end(now=100.0) == 1000.0
+
+    def test_past_wcl_clamps_to_now(self):
+        job = make_job(runtime=5000.0, wcl=1000.0)
+        job.start_time = 0.0
+        assert job.expected_end(now=2500.0) == 2500.0
+
+    def test_requires_running(self):
+        with pytest.raises(ValueError, match="not running"):
+            make_job().expected_end(0.0)
+
+
+class TestSeniority:
+    def test_defaults_to_submit(self):
+        assert make_job(submit=42.0).seniority == 42.0
+
+    def test_chunks_inherit(self):
+        job = make_job(submit=500.0, seniority_time=42.0)
+        assert job.seniority == 42.0
+
+
+class TestFreshCopy:
+    def test_resets_state(self):
+        job = make_job()
+        job.state = JobState.COMPLETED
+        job.start_time = 1.0
+        job.end_time = 2.0
+        clone = job.fresh_copy()
+        assert clone.state is JobState.PENDING
+        assert clone.start_time is None and clone.end_time is None
+        assert clone.id == job.id and clone.nodes == job.nodes
+
+    def test_does_not_mutate_original(self):
+        job = make_job()
+        job.state = JobState.RUNNING
+        job.fresh_copy()
+        assert job.state is JobState.RUNNING
+
+    def test_preserves_chunk_fields(self):
+        job = Job(id=9, submit_time=0.0, nodes=2, runtime=10.0, wcl=20.0,
+                  parent_id=3, chunk_index=1, chunk_count=4, seniority_time=0.0)
+        clone = job.fresh_copy()
+        assert clone.parent_id == 3
+        assert clone.chunk_index == 1
+        assert clone.chunk_count == 4
+        assert clone.is_chunk

@@ -1,0 +1,94 @@
+"""Tests for the Loss of Capacity observer (Equation 4)."""
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.engine import Engine
+from repro.metrics.loc import LossOfCapacityObserver, loc_of
+from repro.sched.nobackfill import NoBackfillScheduler
+from repro.sched.noguarantee import NoGuaranteeScheduler
+from tests.conftest import make_job
+
+
+def run_with_loc(jobs, scheduler=None, size=8):
+    obs = LossOfCapacityObserver()
+    res = Engine(
+        Cluster(size), scheduler or NoBackfillScheduler("fcfs"),
+        jobs, observers=[obs],
+    ).run()
+    return obs, res
+
+
+class TestZeroLoc:
+    def test_single_job_no_waste(self):
+        obs, _ = run_with_loc([make_job(id=1, nodes=4, runtime=100.0)])
+        assert obs.loss_of_capacity == 0.0
+
+    def test_back_to_back_full_machine(self):
+        jobs = [
+            make_job(id=1, submit=0.0, nodes=8, runtime=100.0),
+            make_job(id=2, submit=0.0, nodes=8, runtime=100.0),
+        ]
+        obs, _ = run_with_loc(jobs)
+        # full machine busy the whole time a job was queued -> no loss
+        assert obs.loss_of_capacity == 0.0
+
+
+class TestKnownWaste:
+    def test_strict_fcfs_head_blocking(self):
+        """4 idle nodes for 100 s while a queued 8-wide job waits (the
+        Figure 1 situation) = 400 wasted proc-seconds."""
+        jobs = [
+            make_job(id=1, submit=0.0, nodes=4, runtime=100.0),
+            make_job(id=2, submit=0.0, nodes=8, runtime=100.0),
+        ]
+        obs, _ = run_with_loc(jobs)
+        assert obs.wasted_proc_seconds == pytest.approx(400.0)
+        # makespan 200 x 8 nodes = 1600
+        assert obs.loss_of_capacity == pytest.approx(400.0 / 1600.0)
+
+    def test_waste_capped_by_queued_demand(self):
+        """A queued 2-wide job only 'wastes' 2 of the 4 idle nodes."""
+        jobs = [
+            make_job(id=1, submit=0.0, nodes=4, runtime=100.0),
+            make_job(id=2, submit=0.0, nodes=8, runtime=100.0),
+            # strict FCFS: the narrow job is stuck behind the wide one
+        ]
+        jobs2 = [
+            make_job(id=1, submit=0.0, nodes=4, runtime=100.0),
+            make_job(id=2, submit=50.0, nodes=6, runtime=100.0),
+        ]
+        obs, _ = run_with_loc(jobs2)
+        # between t=50 and t=100, 4 free but 6 queued -> min = 4; 200 p-s
+        assert obs.wasted_proc_seconds == pytest.approx(4 * 50.0)
+
+
+class TestIntegrationWithPolicies:
+    def test_backfilling_reduces_loc(self, heavy_workload):
+        fcfs_obs, _ = run_with_loc(
+            heavy_workload.jobs, NoBackfillScheduler("fcfs"),
+            size=heavy_workload.system_size,
+        )
+        ng_obs, _ = run_with_loc(
+            heavy_workload.jobs, NoGuaranteeScheduler(),
+            size=heavy_workload.system_size,
+        )
+        assert ng_obs.loss_of_capacity < fcfs_obs.loss_of_capacity
+
+    def test_loc_in_unit_range(self, small_workload):
+        obs, _ = run_with_loc(small_workload.jobs,
+                              size=small_workload.system_size)
+        assert 0.0 <= obs.loss_of_capacity < 1.0
+
+    def test_collect_exposes_series(self, small_workload):
+        obs, res = run_with_loc(small_workload.jobs,
+                                size=small_workload.system_size)
+        assert loc_of(res) == obs.loss_of_capacity
+
+    def test_loc_of_requires_observer(self, small_workload):
+        res = Engine(
+            Cluster(small_workload.system_size),
+            NoBackfillScheduler("fcfs"), small_workload.jobs,
+        ).run()
+        with pytest.raises(KeyError, match="LossOfCapacityObserver"):
+            loc_of(res)

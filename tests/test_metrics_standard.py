@@ -1,0 +1,89 @@
+"""Tests for wait/turnaround/slowdown/utilization/makespan (Section 3.2)."""
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.engine import Engine
+from repro.metrics import standard as S
+from repro.sched.nobackfill import NoBackfillScheduler
+from tests.conftest import make_job
+
+
+def completed(id=1, submit=0.0, start=10.0, end=110.0, nodes=4):
+    job = make_job(id=id, submit=submit, nodes=nodes,
+                   runtime=end - start, wcl=end - start)
+    job.state = job.state.COMPLETED
+    job.start_time = start
+    job.end_time = end
+    return job
+
+
+class TestUserMetrics:
+    def test_wait_times(self):
+        jobs = [completed(1, submit=0.0, start=30.0, end=50.0)]
+        assert S.wait_times(jobs)[0] == 30.0
+        assert S.average_wait(jobs) == 30.0
+
+    def test_turnaround_equation1(self):
+        jobs = [
+            completed(1, submit=0.0, start=0.0, end=100.0),
+            completed(2, submit=50.0, start=100.0, end=250.0),
+        ]
+        # (100 + 200) / 2
+        assert S.average_turnaround(jobs) == 150.0
+
+    def test_slowdown_bounded(self):
+        short = completed(1, submit=0.0, start=100.0, end=101.0)
+        # executed 1s; bound 10 prevents a 101x explosion
+        assert S.slowdowns([short], bound=10.0)[0] == pytest.approx(10.1)
+
+    def test_incomplete_jobs_rejected(self):
+        with pytest.raises(ValueError, match="completed"):
+            S.average_wait([make_job()])
+
+    def test_empty_lists(self):
+        assert S.average_turnaround([]) == 0.0
+        assert S.average_wait([]) == 0.0
+        assert S.average_slowdown([]) == 0.0
+
+
+class TestSystemMetrics:
+    def test_makespan_equation3(self):
+        jobs = [
+            completed(1, start=50.0, end=150.0),
+            completed(2, start=100.0, end=400.0),
+        ]
+        assert S.makespan(jobs) == 350.0
+
+    def test_utilization_equation2(self):
+        # one 4-node job for 100s on an 8-node machine over a 100s makespan
+        jobs = [completed(1, start=0.0, end=100.0, nodes=4)]
+        assert S.utilization(jobs, system_size=8) == 0.5
+
+    def test_utilization_full_packing(self):
+        jobs = [
+            completed(1, start=0.0, end=100.0, nodes=4),
+            completed(2, start=0.0, end=100.0, nodes=4),
+        ]
+        assert S.utilization(jobs, system_size=8) == 1.0
+
+    def test_empty(self):
+        assert S.makespan([]) == 0.0
+        assert S.utilization([], 8) == 0.0
+
+
+class TestSummarize:
+    def test_summary_from_simulation(self, small_workload):
+        res = Engine(
+            Cluster(small_workload.system_size),
+            NoBackfillScheduler("fcfs"),
+            small_workload.jobs,
+        ).run()
+        s = S.summarize(res)
+        assert s.n_jobs == len(small_workload)
+        assert 0.0 < s.utilization <= 1.0
+        assert s.avg_turnaround >= s.avg_wait
+        assert s.avg_slowdown >= 1.0
+        d = s.as_dict()
+        assert set(d) == {"n_jobs", "avg_wait", "avg_turnaround",
+                          "avg_slowdown", "utilization", "makespan"}

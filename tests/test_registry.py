@@ -1,0 +1,77 @@
+"""Tests for the named policy registry."""
+
+import pytest
+
+from repro.sched.conservative import ConservativeScheduler
+from repro.sched.dynamic import DynamicReservationScheduler
+from repro.sched.noguarantee import NoGuaranteeScheduler
+from repro.sched.registry import (
+    CONSERVATIVE_POLICIES,
+    MINOR_POLICIES,
+    PAPER_POLICIES,
+    REGISTRY,
+    get_policy,
+    policy_names,
+)
+
+HOUR = 3600.0
+
+
+class TestPolicySets:
+    def test_nine_paper_policies(self):
+        assert len(PAPER_POLICIES) == 9
+        assert PAPER_POLICIES[0] == "cplant24.nomax.all"
+
+    def test_minor_is_first_five(self):
+        assert MINOR_POLICIES == PAPER_POLICIES[:5]
+
+    def test_conservative_set_matches_figure16(self):
+        assert "cplant24.nomax.all" in CONSERVATIVE_POLICIES
+        assert "cons.72max" in CONSERVATIVE_POLICIES
+        assert len(CONSERVATIVE_POLICIES) == 5
+
+    def test_all_keys_resolvable(self):
+        for key in policy_names():
+            spec = get_policy(key)
+            sched = spec.make_scheduler()
+            assert sched is not None
+
+    def test_unknown_key_raises_with_listing(self):
+        with pytest.raises(KeyError, match="cplant24.nomax.all"):
+            get_policy("no-such-policy")
+
+
+class TestSpecSemantics:
+    def test_baseline_config(self):
+        sched = get_policy("cplant24.nomax.all").make_scheduler()
+        assert isinstance(sched, NoGuaranteeScheduler)
+        assert sched.starvation_threshold == 24 * HOUR
+        assert sched.entrance == "all"
+        assert get_policy("cplant24.nomax.all").max_runtime is None
+
+    def test_cplant72_threshold(self):
+        sched = get_policy("cplant72.nomax.all").make_scheduler()
+        assert sched.starvation_threshold == 72 * HOUR
+
+    def test_fair_entrance(self):
+        sched = get_policy("cplant24.nomax.fair").make_scheduler()
+        assert sched.entrance == "fair"
+
+    def test_72max_policies_carry_limit(self):
+        for key in ("cplant24.72max.all", "cplant72.72max.fair",
+                    "cons.72max", "consdyn.72max"):
+            assert get_policy(key).max_runtime == 72 * HOUR
+
+    def test_conservative_types(self):
+        assert isinstance(get_policy("cons.nomax").make_scheduler(),
+                          ConservativeScheduler)
+        assert isinstance(get_policy("consdyn.nomax").make_scheduler(),
+                          DynamicReservationScheduler)
+
+    def test_overrides_forwarded(self):
+        sched = get_policy("cons.nomax").make_scheduler(decay_factor=0.25)
+        assert sched.tracker.decay_factor == 0.25
+
+    def test_descriptions_present(self):
+        for spec in REGISTRY.values():
+            assert len(spec.description) > 10

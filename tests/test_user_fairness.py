@@ -1,0 +1,75 @@
+"""Tests for the per-user fairness breakdowns."""
+
+import pytest
+
+from repro.experiments.runner import run_policy
+from repro.metrics.users import (
+    HeavyLightSplit,
+    heavy_light_split,
+    per_user_fairness,
+    render_user_fairness,
+)
+from repro.workload.generator import GeneratorConfig, generate_cplant_workload
+from tests.conftest import make_job
+
+
+def completed(id, user, start, miss_target, nodes=2, runtime=10.0):
+    j = make_job(id=id, submit=0.0, nodes=nodes, runtime=runtime, user=user)
+    j.state = j.state.COMPLETED
+    j.start_time = start
+    j.end_time = start + runtime
+    return j
+
+
+class TestPerUser:
+    def test_grouping_and_stats(self):
+        jobs = [
+            completed(1, user=1, start=100.0, miss_target=None),
+            completed(2, user=1, start=0.0, miss_target=None),
+            completed(3, user=2, start=50.0, miss_target=None),
+        ]
+        fst = {1: 0.0, 2: 0.0, 3: 50.0}
+        out = per_user_fairness(jobs, fst)
+        assert set(out) == {1, 2}
+        u1 = out[1]
+        assert u1.n_jobs == 2
+        assert u1.avg_miss_time == pytest.approx(50.0)
+        assert u1.percent_unfair == pytest.approx(0.5)
+        assert u1.worst_miss == 100.0
+        assert out[2].avg_miss_time == 0.0
+
+    def test_empty(self):
+        assert per_user_fairness([], {}) == {}
+
+    def test_render(self):
+        jobs = [completed(1, user=7, start=10.0, miss_target=None)]
+        txt = render_user_fairness(per_user_fairness(jobs, {1: 0.0}))
+        assert "7" in txt and "%unfair" in txt
+
+
+class TestHeavyLightSplit:
+    def test_split_identifies_heavy_group(self):
+        # user 1 submits 100x the work of users 2..5
+        jobs = [completed(1, user=1, start=0.0, miss_target=None,
+                          nodes=50, runtime=1000.0)]
+        jobs += [completed(10 + k, user=2 + k, start=10.0, miss_target=None)
+                 for k in range(4)]
+        fst = {j.id: 0.0 for j in jobs}
+        split = heavy_light_split(jobs, fst, work_quantile=0.75)
+        assert split.n_heavy_users >= 1
+        assert split.n_heavy_users + split.n_light_users == 5
+
+    def test_empty(self):
+        split = heavy_light_split([], {})
+        assert split == HeavyLightSplit(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    def test_fair_policy_shifts_burden_to_heavy_users(self):
+        """The `.fair` entrance rule exists to spare light users at heavy
+        users' expense; the split must reflect at least no worsening for
+        light users."""
+        wl = generate_cplant_workload(GeneratorConfig(scale=0.05, weeks=5), seed=9)
+        base = run_policy(wl, "cplant24.nomax.all")
+        fair = run_policy(wl, "cplant24.nomax.fair")
+        s_base = heavy_light_split(base.metric_jobs, base.fst)
+        s_fair = heavy_light_split(fair.metric_jobs, fair.fst)
+        assert s_fair.light_avg_miss <= s_base.light_avg_miss * 1.5

@@ -1,0 +1,77 @@
+"""Tests for the Figure 3 weekly offered-load/utilization series."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.weekly import WEEK, WeeklySeries, format_weekly, weekly_series
+from tests.conftest import make_job
+
+
+def completed(id, submit, start, end, nodes):
+    j = make_job(id=id, submit=submit, nodes=nodes,
+                 runtime=max(end - start, 1.0), wcl=max(end - start, 1.0))
+    j.state = j.state.COMPLETED
+    j.start_time, j.end_time = start, end
+    return j
+
+
+class TestWeeklySeries:
+    def test_single_week(self):
+        jobs = [completed(1, 0.0, 0.0, WEEK / 2, nodes=4)]
+        s = weekly_series(jobs, system_size=8)
+        assert len(s) == 1
+        # offered: 4 nodes x half a week / (8 x week) = 0.25
+        assert s.offered_load[0] == pytest.approx(0.25)
+        assert s.utilization[0] == pytest.approx(0.25)
+
+    def test_execution_spanning_weeks(self):
+        jobs = [completed(1, 0.0, 0.0, 2 * WEEK, nodes=8)]
+        s = weekly_series(jobs, system_size=8)
+        assert len(s) == 2
+        assert s.utilization[0] == pytest.approx(1.0)
+        assert s.utilization[1] == pytest.approx(1.0)
+        # all offered work lands in the submit week
+        assert s.offered_load[0] == pytest.approx(2.0)
+        assert s.offered_load[1] == pytest.approx(0.0)
+
+    def test_offered_load_can_exceed_one(self):
+        jobs = [completed(i, 100.0 * i, 1e6 + i, 1e6 + i + WEEK, nodes=8)
+                for i in range(1, 4)]
+        s = weekly_series(jobs, system_size=8)
+        assert s.offered_load[0] > 1.0
+
+    def test_utilization_never_exceeds_one(self, heavy_workload):
+        from repro.core.cluster import Cluster
+        from repro.core.engine import Engine
+        from repro.sched.noguarantee import NoGuaranteeScheduler
+
+        res = Engine(Cluster(heavy_workload.system_size),
+                     NoGuaranteeScheduler(), heavy_workload.jobs).run()
+        s = weekly_series(res.jobs, heavy_workload.system_size)
+        assert (s.utilization <= 1.0 + 1e-9).all()
+
+    def test_total_work_conserved(self, small_workload):
+        from repro.core.cluster import Cluster
+        from repro.core.engine import Engine
+        from repro.sched.nobackfill import NoBackfillScheduler
+
+        res = Engine(Cluster(small_workload.system_size),
+                     NoBackfillScheduler("fcfs"), small_workload.jobs).run()
+        s = weekly_series(res.jobs, small_workload.system_size)
+        executed = s.utilization.sum() * WEEK * small_workload.system_size
+        expected = sum(j.nodes * (j.end_time - j.start_time) for j in res.jobs)
+        assert executed == pytest.approx(expected, rel=1e-9)
+
+    def test_empty(self):
+        s = weekly_series([], 8)
+        assert len(s) == 0
+
+    def test_incomplete_rejected(self):
+        with pytest.raises(ValueError):
+            weekly_series([make_job()], 8)
+
+    def test_format(self):
+        jobs = [completed(1, 0.0, 0.0, WEEK / 2, nodes=4)]
+        txt = format_weekly(weekly_series(jobs, 8))
+        assert "offered%" in txt
+        assert len(txt.splitlines()) == 2
