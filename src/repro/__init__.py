@@ -27,7 +27,26 @@ from .core import (
     ReservationProfile,
     SimulationResult,
 )
-from .experiments import PolicyRun, bench_workload, run_policy, run_suite
+from .campaign import (
+    CampaignCache,
+    CampaignCell,
+    CampaignResult,
+    CampaignSpec,
+    CellResult,
+    WorkloadSpec,
+    aggregate_cells,
+    cell_key,
+    run_campaign,
+    run_cell,
+)
+from .experiments import (
+    PolicyRun,
+    RunOptions,
+    bench_workload,
+    run_policy,
+    run_policy_with_options,
+    run_suite,
+)
 from .metrics import (
     FairnessStats,
     HybridFSTObserver,
@@ -59,9 +78,11 @@ from .workload import (
     GeneratorConfig,
     Workload,
     generate_cplant_workload,
+    generate_replications,
     parent_view,
     random_workload,
     read_swf,
+    replication_seeds,
     split_by_runtime_limit,
     write_swf,
 )
@@ -71,6 +92,11 @@ __version__ = "1.0.0"
 __all__ = [
     "BaseScheduler",
     "CONSERVATIVE_POLICIES",
+    "CampaignCache",
+    "CampaignCell",
+    "CampaignResult",
+    "CampaignSpec",
+    "CellResult",
     "Cluster",
     "ConservativeScheduler",
     "DepthKScheduler",
@@ -93,20 +119,29 @@ __all__ = [
     "PAPER_POLICIES",
     "PolicyRun",
     "ReservationProfile",
+    "RunOptions",
     "SimulationResult",
     "SummaryStats",
     "Workload",
+    "WorkloadSpec",
+    "aggregate_cells",
     "bench_workload",
+    "cell_key",
     "consp_fst",
     "fairness_stats",
     "generate_cplant_workload",
+    "generate_replications",
     "get_policy",
     "parent_view",
     "policy_names",
     "random_workload",
     "read_swf",
+    "replication_seeds",
     "resource_equality_deficits",
+    "run_campaign",
+    "run_cell",
     "run_policy",
+    "run_policy_with_options",
     "run_suite",
     "sabin_fst",
     "split_by_runtime_limit",

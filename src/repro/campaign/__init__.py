@@ -1,0 +1,46 @@
+"""Campaign subsystem: declarative parallel parameter sweeps.
+
+A campaign is a grid of (workload x policy x scheduler-parameter)
+simulations declared as data (:class:`CampaignSpec`), executed across
+worker processes (:func:`run_campaign`), memoized in a content-addressed
+on-disk cache (:class:`CampaignCache`), and collapsed into per-group
+mean/std/95%-CI statistics (:func:`aggregate_cells`).  The CLI front end
+is ``repro sweep <spec.json>``.
+"""
+
+from .aggregate import (
+    aggregate_cells,
+    aggregate_rows,
+    flatten_metrics,
+    t_critical_95,
+)
+from .cache import (
+    CACHE_DIR_ENV,
+    CACHE_SCHEMA,
+    CampaignCache,
+    cell_key,
+    code_version,
+    default_cache_dir,
+)
+from .executor import CampaignResult, CellResult, run_campaign, run_cell
+from .spec import CampaignCell, CampaignSpec, WorkloadSpec
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_SCHEMA",
+    "CampaignCache",
+    "CampaignCell",
+    "CampaignResult",
+    "CampaignSpec",
+    "CellResult",
+    "WorkloadSpec",
+    "aggregate_cells",
+    "aggregate_rows",
+    "cell_key",
+    "code_version",
+    "default_cache_dir",
+    "flatten_metrics",
+    "run_campaign",
+    "run_cell",
+    "t_critical_95",
+]

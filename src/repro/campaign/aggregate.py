@@ -1,0 +1,161 @@
+"""Statistical aggregation of campaign cells.
+
+Cells sharing (workload family, policy, overrides) but differing in seed
+are replications; this module collapses each such group into mean / std /
+95% confidence interval for every numeric metric a
+:class:`~repro.experiments.runner.PolicyRun` record exposes (nested
+summary and fairness stats, loss of capacity, the per-width arrays —
+anything :func:`flatten_metrics` can reduce to scalars).
+
+CIs use the two-sided Student-t critical value (normal approximation
+above 30 degrees of freedom) — the replication-with-confidence-intervals
+presentation related work uses to compare policies.  Everything is
+deterministically ordered (groups by canonical identity, cells by seed,
+metrics by name) so aggregate documents are byte-identical regardless of
+worker completion order or job count.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import TYPE_CHECKING, Dict, List, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .executor import CellResult
+
+#: two-sided 95% Student-t critical values by degrees of freedom
+_T95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447, 7: 2.365,
+    8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179, 13: 2.160,
+    14: 2.145, 15: 2.131, 16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093,
+    20: 2.086, 21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+    26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+}
+
+
+def t_critical_95(df: int) -> float:
+    """Two-sided 95% t critical value; 1.96 beyond the tabulated range."""
+    if df < 1:
+        raise ValueError("need at least 1 degree of freedom")
+    return _T95.get(df, 1.960)
+
+
+def flatten_metrics(record: Dict[str, object], prefix: str = "") -> Dict[str, float]:
+    """Reduce a nested metric record to dotted-path scalars.
+
+    Dicts recurse (``summary.avg_wait``), numeric lists index
+    (``miss_by_width.3``), numbers pass through as floats; strings and
+    other non-numeric leaves (labels, policy names) are dropped.  NaNs
+    (empty width buckets) are kept — aggregation treats them as missing.
+    """
+    out: Dict[str, float] = {}
+    for name, value in record.items():
+        path = f"{prefix}{name}"
+        if isinstance(value, dict):
+            out.update(flatten_metrics(value, prefix=f"{path}."))
+        elif isinstance(value, (list, tuple)):
+            for i, v in enumerate(value):
+                if isinstance(v, (int, float)) and not isinstance(v, bool):
+                    out[f"{path}.{i}"] = float(v)
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[path] = float(value)
+    return out
+
+
+def _stats(values: Sequence[float]) -> Dict[str, object]:
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        var = sum((v - mean) ** 2 for v in values) / (n - 1)
+        std = math.sqrt(var)
+        ci95 = t_critical_95(n - 1) * std / math.sqrt(n)
+    else:
+        std = 0.0
+        ci95 = 0.0
+    return {
+        "n": n,
+        "mean": mean,
+        "std": std,
+        "ci95": ci95,
+        "min": min(values),
+        "max": max(values),
+    }
+
+
+def aggregate_cells(
+    results: Sequence["CellResult"],
+    campaign: str = "campaign",
+) -> Dict[str, object]:
+    """Collapse cell results into per-group statistics across seeds.
+
+    Returns a JSON-safe document: one group per (workload family, policy,
+    overrides) with every flattened metric's n/mean/std/ci95/min/max.
+    """
+    groups: Dict[str, Dict[str, object]] = {}
+    for res in results:
+        gid = json.dumps(res.cell.group_identity(), sort_keys=True)
+        bucket = groups.setdefault(
+            gid,
+            {"identity": res.cell.group_identity(), "cells": []},
+        )
+        bucket["cells"].append(res)  # type: ignore[union-attr]
+
+    out_groups: List[Dict[str, object]] = []
+    for gid in sorted(groups):
+        identity = groups[gid]["identity"]
+        cells: List["CellResult"] = sorted(
+            groups[gid]["cells"],  # type: ignore[arg-type]
+            key=lambda r: json.dumps(r.cell.identity(), sort_keys=True),
+        )
+        flat = [flatten_metrics(r.metrics) for r in cells]
+        names = sorted(set().union(*flat)) if flat else []
+        metrics: Dict[str, object] = {}
+        for name in names:
+            values = [
+                f[name] for f in flat
+                if name in f and not math.isnan(f[name])
+            ]
+            if values:
+                metrics[name] = _stats(values)
+        out_groups.append(
+            {
+                "workload": identity["workload"],
+                "policy": identity["policy"],
+                "overrides": identity["overrides"],
+                "n_cells": len(cells),
+                "seeds": [r.cell.seed for r in cells],
+                "metrics": metrics,
+            }
+        )
+    return {
+        "campaign": campaign,
+        "n_cells": len(results),
+        "n_groups": len(out_groups),
+        "groups": out_groups,
+    }
+
+
+def aggregate_rows(doc: Dict[str, object]) -> List[Dict[str, object]]:
+    """Long-format rows (one per group x metric) for CSV export."""
+    rows: List[Dict[str, object]] = []
+    for group in doc["groups"]:  # type: ignore[union-attr]
+        wl = json.dumps(group["workload"], sort_keys=True)
+        ov = json.dumps(group["overrides"], sort_keys=True)
+        for name, st in group["metrics"].items():
+            rows.append(
+                {
+                    "campaign": doc["campaign"],
+                    "workload": wl,
+                    "policy": group["policy"],
+                    "overrides": ov,
+                    "metric": name,
+                    "n": st["n"],
+                    "mean": st["mean"],
+                    "std": st["std"],
+                    "ci95": st["ci95"],
+                    "min": st["min"],
+                    "max": st["max"],
+                }
+            )
+    return rows

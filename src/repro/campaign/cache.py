@@ -1,0 +1,124 @@
+"""Content-addressed on-disk cache for campaign cells.
+
+A cell's key is the SHA-256 of its canonical JSON identity — workload
+identity (generator parameters + seed, or trace-file content hash),
+policy key, scheduler overrides, engine options — salted with a code
+version, so re-running a campaign after editing a spec only simulates
+the cells that actually changed, and upgrading the package invalidates
+stale metrics wholesale.
+
+Entries are small JSON documents (the flattened metric record, not the
+job lists), stored two-level fanned-out under the cache root and written
+atomically (``os.replace``) so concurrent workers and concurrent
+campaigns can share one cache directory safely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from .spec import CampaignCell
+
+PathLike = Union[str, Path]
+
+#: bump to invalidate every cached cell after a metrics-affecting change
+CACHE_SCHEMA = 1
+
+#: environment override for the default cache root
+CACHE_DIR_ENV = "REPRO_CAMPAIGN_CACHE"
+
+
+def code_version() -> str:
+    """Package version + cache schema: the cache key's code component."""
+    from .. import __version__  # deferred: package init imports this module
+
+    return f"{__version__}+schema{CACHE_SCHEMA}"
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro-campaign"
+
+
+def cell_key(cell: CampaignCell) -> str:
+    """Stable content hash of everything that determines a cell's result."""
+    doc = {"cell": cell.identity(), "code": code_version()}
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class CampaignCache:
+    """Get/put of metric records keyed by :func:`cell_key`.
+
+    Misses are silent (corrupt or truncated entries read as misses and are
+    overwritten on the next put); hits return the stored metrics dict.
+    """
+
+    def __init__(self, root: Optional[PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        path = self.path_for(key)
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if doc.get("key") != key or doc.get("schema") != CACHE_SCHEMA:
+            return None
+        metrics = doc.get("metrics")
+        return metrics if isinstance(metrics, dict) else None
+
+    def put(self, key: str, cell: CampaignCell, metrics: Dict[str, object]) -> Path:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "key": key,
+            "schema": CACHE_SCHEMA,
+            "code": code_version(),
+            "cell": cell.identity(),
+            "metrics": metrics,
+        }
+        blob = json.dumps(doc, sort_keys=True) + "\n"
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        n = 0
+        for path in list(self.root.glob("??/*.json")):
+            try:
+                path.unlink()
+                n += 1
+            except OSError:
+                pass
+        return n

@@ -1,0 +1,199 @@
+"""Parallel campaign execution.
+
+Grid cells are embarrassingly parallel (each is one full simulation), so
+the executor fans missing cells out over a :class:`ProcessPoolExecutor`
+and streams completions back in arbitrary order; determinism lives in the
+cells themselves (pure worker + seeded generators), not in scheduling, so
+``--jobs 4`` and ``--jobs 1`` produce bit-identical metrics.
+
+The worker, :func:`run_cell`, is a pure top-level function: it builds the
+cell's workload (memoized per worker process — one trace typically feeds
+many policy cells) and delegates to the same
+:func:`repro.experiments.runner.run_policy` the serial path uses, then
+flattens the result into the JSON-safe metric record the cache stores.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..experiments.export import policy_run_record
+from ..experiments.runner import run_policy_with_options
+from ..workload.model import Workload
+from .aggregate import aggregate_cells
+from .cache import CampaignCache, cell_key
+from .spec import CampaignCell, CampaignSpec, _swf_digest
+
+#: progress callback: (done, total, cell, source) with source in
+#: {"cache", "run"}
+ProgressFn = Callable[[int, int, CampaignCell, str], None]
+
+# per-process workload memo: many cells share one (workload, seed) instance
+_WL_CACHE: Dict[Tuple, Workload] = {}
+_WL_CACHE_MAX = 4
+
+
+def _cell_workload(cell: CampaignCell) -> Workload:
+    key: Tuple = (cell.workload, cell.seed)
+    if cell.workload.kind == "swf":
+        # the spec compares equal across a trace edit; the content digest
+        # doesn't — without it an in-process edit would serve the stale
+        # workload and poison the cache under the new content hash
+        key += (_swf_digest(str(cell.workload.path)),)
+    wl = _WL_CACHE.get(key)
+    if wl is None:
+        if len(_WL_CACHE) >= _WL_CACHE_MAX:
+            _WL_CACHE.clear()
+        wl = cell.workload.build(cell.seed)
+        _WL_CACHE[key] = wl
+    return wl
+
+
+def run_cell(cell: CampaignCell) -> Dict[str, object]:
+    """Simulate one grid cell and return its JSON-safe metric record.
+
+    Pure top-level function — picklable for process pools, and the single
+    implementation behind both ``--jobs 1`` and ``--jobs N``.
+    """
+    wl = _cell_workload(cell)
+    run = run_policy_with_options(wl, cell.policy, cell.options)
+    return policy_run_record(run)
+
+
+def _run_cell_timed(cell: CampaignCell) -> Tuple[Dict[str, object], float]:
+    """Worker entry: metrics plus execution time measured *in* the worker
+    (a submit-to-completion clock would fold in pool queue wait)."""
+    t0 = time.perf_counter()
+    metrics = run_cell(cell)
+    return metrics, time.perf_counter() - t0
+
+
+@dataclass
+class CellResult:
+    """One cell's metrics plus where they came from."""
+
+    cell: CampaignCell
+    key: str
+    metrics: Dict[str, object]
+    cached: bool
+    elapsed: float = 0.0
+
+
+@dataclass
+class CampaignResult:
+    """Every cell's outcome, in grid order, plus execution accounting."""
+
+    spec: CampaignSpec
+    results: List[CellResult] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.results)
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for r in self.results if r.cached)
+
+    @property
+    def n_simulated(self) -> int:
+        return sum(1 for r in self.results if not r.cached)
+
+    def aggregate(self) -> Dict[str, object]:
+        """Per-group statistics across seeds (see :mod:`.aggregate`)."""
+        return aggregate_cells(self.results, campaign=self.spec.name)
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    jobs: int = 1,
+    cache: Optional[CampaignCache] = None,
+    force: bool = False,
+    progress: Optional[ProgressFn] = None,
+) -> CampaignResult:
+    """Expand a spec and run it: cache lookups first, then the missing
+    cells — inline for ``jobs <= 1``, else across a process pool — with
+    results streamed back (and cached) as they complete."""
+    t0 = time.perf_counter()
+    cells = spec.expand()
+    keys = [cell_key(c) for c in cells]
+    slots: List[Optional[CellResult]] = [None] * len(cells)
+    done = 0
+    progress_ok = True
+
+    def _note(i: int, res: CellResult, source: str) -> None:
+        # progress is advisory: a callback blowing up (closed pipe, UI gone)
+        # must not abort the campaign or skip caching the remaining cells
+        nonlocal done, progress_ok
+        slots[i] = res
+        done += 1
+        if progress is not None and progress_ok:
+            try:
+                progress(done, len(cells), cells[i], source)
+            except Exception:
+                progress_ok = False
+
+    todo: List[int] = []
+    for i, (c, k) in enumerate(zip(cells, keys)):
+        rec = cache.get(k) if (cache is not None and not force) else None
+        if rec is not None:
+            _note(i, CellResult(cell=c, key=k, metrics=rec, cached=True), "cache")
+        else:
+            todo.append(i)
+
+    def _finish(i: int, metrics: Dict[str, object], dt: float) -> None:
+        if cache is not None:
+            cache.put(keys[i], cells[i], metrics)
+        _note(
+            i,
+            CellResult(cell=cells[i], key=keys[i], metrics=metrics,
+                       cached=False, elapsed=dt),
+            "run",
+        )
+
+    # a failing cell must not discard the rest of the campaign: every other
+    # cell still completes and is cached, then one error names the culprits
+    failures: List[Tuple[CampaignCell, BaseException]] = []
+
+    if todo and (jobs <= 1 or len(todo) == 1):
+        for i in todo:
+            try:
+                metrics, dt = _run_cell_timed(cells[i])
+            except Exception as exc:
+                failures.append((cells[i], exc))
+                continue
+            _finish(i, metrics, dt)
+    elif todo:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:
+            submitted = {pool.submit(_run_cell_timed, cells[i]): i
+                         for i in todo}
+            pending = set(submitted)
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in finished:
+                    i = submitted[fut]
+                    try:
+                        metrics, dt = fut.result()
+                    except Exception as exc:
+                        failures.append((cells[i], exc))
+                        continue
+                    _finish(i, metrics, dt)
+
+    if failures:
+        completed = sum(1 for r in slots if r is not None)
+        detail = "; ".join(f"{c.label()}: {exc!r}" for c, exc in failures[:5])
+        more = "" if len(failures) <= 5 else f" (+{len(failures) - 5} more)"
+        raise RuntimeError(
+            f"{len(failures)}/{len(cells)} campaign cells failed "
+            f"({completed} completed and cached): {detail}{more}"
+        ) from failures[0][1]
+
+    assert all(r is not None for r in slots)
+    return CampaignResult(
+        spec=spec,
+        results=[r for r in slots if r is not None],
+        elapsed=time.perf_counter() - t0,
+    )

@@ -7,20 +7,31 @@ Subcommands::
     repro-sched compare   --policies cplant24.nomax.all,cons.72max --scale 0.1
     repro-sched figures   --scale 0.1          # print every paper figure
     repro-sched tables    --scale 1.0          # print Tables 1-2
+    repro-sched sweep     campaign.json --jobs 4   # parallel cached sweep
     repro-sched policies                        # list known policies
 
-``python -m repro ...`` works too.
+``python -m repro ...`` works too, and ``pip install -e .`` provides the
+``repro`` entry point.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
+from .campaign import (
+    CampaignCache,
+    CampaignSpec,
+    aggregate_rows,
+    run_campaign,
+)
 from .experiments import figures as F
 from .experiments.config import BenchConfig, bench_workload
 from .experiments.export import (
+    export_campaign_csv,
+    export_campaign_json,
     export_per_job_csv,
     export_suite_csv,
     export_suite_json,
@@ -163,6 +174,62 @@ def cmd_export(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    spec = CampaignSpec.from_json(args.spec)
+    cache = None if args.no_cache else CampaignCache(args.cache_dir)
+
+    def progress(done, total, cell, source):
+        if not args.quiet:
+            tag = "cache" if source == "cache" else "run  "
+            print(f"[sweep] {done:>4}/{total} {tag} {cell.label()}", flush=True)
+
+    result = run_campaign(
+        spec,
+        jobs=args.jobs,
+        cache=cache,
+        force=args.force,
+        progress=progress,
+    )
+    doc = result.aggregate()
+
+    print(
+        f"campaign {spec.name!r}: {result.n_cells} cells "
+        f"({result.n_simulated} simulated, {result.n_cached} cached) "
+        f"in {result.elapsed:.1f}s with --jobs {args.jobs}"
+    )
+    def _group_label(g) -> str:
+        wl = g["workload"]
+        wname = (wl.get("path") or
+                 f"{wl['kind']}({', '.join(f'{k}={v}' for k, v in wl.get('params', {}).items())})")
+        if g["overrides"]:
+            ov = ",".join(f"{k}={v}" for k, v in g["overrides"].items())
+            wname = f"{wname} [{ov}]"
+        return wname
+
+    labels = [_group_label(g) for g in doc["groups"]]
+    wcol = max([len("workload"), *map(len, labels)]) + 2
+    print(f"{'policy':<24}{'workload':<{wcol}}{'n':>3}"
+          f"{'%unfair':>14}{'avg TAT':>20}")
+    for g, wname in zip(doc["groups"], labels):
+        pu = g["metrics"].get("fairness.percent_unfair", {})
+        tat = g["metrics"].get("summary.avg_turnaround", {})
+        print(
+            f"{g['policy']:<24}{wname:<{wcol}}{g['n_cells']:>3}"
+            f"{100 * pu.get('mean', 0):>8.2f}±{100 * pu.get('ci95', 0):<4.2f}%"
+            f"{tat.get('mean', 0):>13,.0f}±{tat.get('ci95', 0):<,.0f}s"
+        )
+    wrote = []
+    if args.json:
+        export_campaign_json(doc, args.json)
+        wrote.append(args.json)
+    if args.csv:
+        export_campaign_csv(aggregate_rows(doc), args.csv)
+        wrote.append(args.csv)
+    for path in wrote:
+        print(f"wrote {path}")
+    return 0
+
+
 def cmd_policies(_args) -> int:
     for key, spec in REGISTRY.items():
         star = "*" if key in PAPER_POLICIES else " "
@@ -217,6 +284,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-job CSV path prefix (one file per policy)")
     e.set_defaults(fn=cmd_export)
 
+    sw = sub.add_parser(
+        "sweep",
+        help="run a campaign spec: parallel sweep with on-disk caching",
+    )
+    sw.add_argument("spec", help="campaign spec JSON path (see README)")
+    sw.add_argument("--jobs", type=int, default=1,
+                    help="worker processes (1 = run inline, no pool)")
+    sw.add_argument("--cache-dir", default=None,
+                    help="cache root (default ~/.cache/repro-campaign)")
+    sw.add_argument("--no-cache", action="store_true",
+                    help="neither read nor write the on-disk cache")
+    sw.add_argument("--force", action="store_true",
+                    help="ignore cached cells but still refresh them")
+    sw.add_argument("--json", default=None, help="aggregate JSON output path")
+    sw.add_argument("--csv", default=None, help="aggregate CSV output path")
+    sw.add_argument("--quiet", action="store_true",
+                    help="suppress per-cell progress lines")
+    sw.set_defaults(fn=cmd_sweep)
+
     ls = sub.add_parser("policies", help="list known policies")
     ls.set_defaults(fn=cmd_policies)
 
@@ -225,7 +311,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # stdout went away mid-print (e.g. `repro sweep ... | head`);
+        # redirect to devnull so the interpreter's shutdown flush doesn't
+        # print a second traceback, and exit like a killed pipe consumer
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 1
 
 
 if __name__ == "__main__":

@@ -3,9 +3,11 @@
 from .config import BenchConfig, bench_workload
 from .runner import (
     PolicyRun,
+    RunOptions,
     cached_suite,
     clear_suite_cache,
     run_policy,
+    run_policy_with_options,
     run_suite,
 )
 from .tables import (
@@ -19,6 +21,7 @@ from .tables import (
 __all__ = [
     "BenchConfig",
     "PolicyRun",
+    "RunOptions",
     "TableComparison",
     "bench_workload",
     "cached_suite",
@@ -26,6 +29,7 @@ __all__ = [
     "render_table1",
     "render_table2",
     "run_policy",
+    "run_policy_with_options",
     "run_suite",
     "table1_job_counts",
     "table2_proc_hours",

@@ -90,3 +90,36 @@ def export_per_job_csv(run: PolicyRun, path: PathLike) -> None:
 def load_suite_json(path: PathLike) -> Dict[str, Dict[str, object]]:
     """Read back an :func:`export_suite_json` document."""
     return json.loads(Path(path).read_text())
+
+
+# -- campaign aggregates ------------------------------------------------------
+#
+# These accept the plain aggregate document produced by
+# ``repro.campaign.aggregate_cells`` (no campaign import here — the
+# campaign package imports :func:`policy_run_record` from this module).
+
+CAMPAIGN_CSV_FIELDS = [
+    "campaign", "workload", "policy", "overrides", "metric",
+    "n", "mean", "std", "ci95", "min", "max",
+]
+
+
+def export_campaign_json(doc: Dict[str, object], path: PathLike) -> None:
+    """Write an aggregate document; deterministic bytes for identical
+    metrics (sorted keys, no timing or provenance fields)."""
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def export_campaign_csv(rows, path: PathLike) -> None:
+    """Write ``repro.campaign.aggregate_rows`` output (long format: one
+    row per group x metric)."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=CAMPAIGN_CSV_FIELDS)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+
+
+def load_campaign_json(path: PathLike) -> Dict[str, object]:
+    """Read back an :func:`export_campaign_json` document."""
+    return json.loads(Path(path).read_text())

@@ -10,7 +10,7 @@ options) because a dozen benchmarks share them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -54,8 +54,8 @@ class PolicyRun:
     loss_of_capacity: float
     miss_by_width: np.ndarray
     turnaround_by_width: np.ndarray
-    metric_jobs: list = None
-    fst: Dict[int, float] = None
+    metric_jobs: Optional[List] = None
+    fst: Optional[Dict[int, float]] = None
 
     @property
     def percent_unfair(self) -> float:
@@ -68,6 +68,64 @@ class PolicyRun:
     @property
     def average_turnaround(self) -> float:
         return self.summary.avg_turnaround
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Engine options for one policy run, in canonical (hashable, picklable)
+    form.
+
+    Both execution paths share it: the serial :func:`run_policy` signature
+    maps onto it 1:1, and the campaign subsystem embeds it in grid cells so
+    a cell fully determines its simulation (the cache key hashes
+    :meth:`identity`).  ``scheduler_overrides`` is a sorted tuple of pairs
+    and ``kill_policy`` a :class:`KillPolicy` so equal options always
+    compare (and hash) equal.
+    """
+
+    estimate_mode: str = "perfect"
+    epsilon: float = 1.0
+    kill_policy: KillPolicy = KillPolicy.IF_NEEDED
+    scheduler_overrides: Tuple[Tuple[str, object], ...] = ()
+    validate: bool = False
+
+    def __post_init__(self) -> None:
+        if isinstance(self.kill_policy, str):
+            object.__setattr__(
+                self, "kill_policy", KillPolicy[self.kill_policy.upper()]
+            )
+        object.__setattr__(
+            self,
+            "scheduler_overrides",
+            tuple(sorted(dict(self.scheduler_overrides).items())),
+        )
+
+    def identity(self) -> Dict[str, object]:
+        """JSON-safe canonical form (stable across processes and runs)."""
+        return {
+            "estimate_mode": self.estimate_mode,
+            "epsilon": self.epsilon,
+            "kill_policy": self.kill_policy.name,
+            "scheduler_overrides": dict(self.scheduler_overrides),
+            "validate": self.validate,
+        }
+
+
+def run_policy_with_options(
+    workload: Workload,
+    policy_key: str,
+    options: RunOptions,
+) -> PolicyRun:
+    """:func:`run_policy` driven by a canonical :class:`RunOptions`."""
+    return run_policy(
+        workload,
+        policy_key,
+        estimate_mode=options.estimate_mode,
+        epsilon=options.epsilon,
+        kill_policy=options.kill_policy,
+        scheduler_overrides=dict(options.scheduler_overrides) or None,
+        validate=options.validate,
+    )
 
 
 def run_policy(

@@ -10,7 +10,7 @@ maximum-runtime split, applied by the experiment runner before simulation).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Mapping, Optional, Tuple
 
 from .base import BaseScheduler
 from .conservative import ConservativeScheduler
@@ -143,6 +143,25 @@ MINOR_POLICIES: Tuple[str, ...] = PAPER_POLICIES[:5]
 CONSERVATIVE_POLICIES: Tuple[str, ...] = (
     "cplant24.nomax.all", "cons.nomax", "consdyn.nomax", "cons.72max", "consdyn.72max",
 )
+
+
+def validate_overrides(key: str, overrides: Mapping[str, object]) -> None:
+    """Fail fast on scheduler-parameter overrides a policy cannot accept.
+
+    Campaign specs name override grids declaratively; instantiating the
+    scheduler here (they are cheap to build) surfaces a misspelled or
+    inapplicable parameter before any worker process is spawned, with the
+    policy key in the message instead of a bare ``TypeError`` from a
+    factory closure.
+    """
+    spec = get_policy(key)
+    try:
+        spec.make_scheduler(**dict(overrides))
+    except TypeError as exc:
+        raise ValueError(
+            f"policy {key!r} rejects scheduler overrides "
+            f"{dict(overrides)!r}: {exc}"
+        ) from None
 
 
 def get_policy(key: str) -> PolicySpec:

@@ -2,7 +2,13 @@
 synthetic generator, and workload transforms."""
 
 from . import categories, cplant
-from .generator import GeneratorConfig, generate_cplant_workload, random_workload
+from .generator import (
+    GeneratorConfig,
+    generate_cplant_workload,
+    generate_replications,
+    random_workload,
+    replication_seeds,
+)
 from .model import Workload
 from .swf import SwfFormatError, SwfHeader, read_swf, write_swf
 from .transforms import (
@@ -21,9 +27,11 @@ __all__ = [
     "cplant",
     "filter_width",
     "generate_cplant_workload",
+    "generate_replications",
     "parent_view",
     "random_workload",
     "read_swf",
+    "replication_seeds",
     "shift_to_zero",
     "split_by_runtime_limit",
     "write_swf",

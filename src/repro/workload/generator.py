@@ -319,6 +319,28 @@ def generate_cplant_workload(
     )
 
 
+def replication_seeds(base_seed: int, n: int) -> List[int]:
+    """``n`` independent generator seeds derived from one base seed.
+
+    Uses :class:`numpy.random.SeedSequence` spawning rather than
+    ``base_seed + i`` so replicated traces draw from decorrelated streams;
+    the derivation is deterministic, so campaign cache keys built from
+    these seeds are stable across processes and runs.
+    """
+    if n < 1:
+        raise ValueError("need at least one replication")
+    ss = np.random.SeedSequence(base_seed)
+    return [int(child.generate_state(1)[0]) for child in ss.spawn(n)]
+
+
+def generate_replications(
+    config: GeneratorConfig | None = None,
+    seeds: Sequence[int] = (0,),
+) -> List[Workload]:
+    """One calibrated workload per seed (multi-seed replication studies)."""
+    return [generate_cplant_workload(config, seed=int(s)) for s in seeds]
+
+
 def random_workload(
     n_jobs: int,
     system_size: int = 64,
