@@ -45,7 +45,15 @@ from .experiments import (
     bench_workload,
     run_policy,
     run_policy_with_options,
+    run_scenario,
     run_suite,
+)
+from .scenarios import (
+    Scenario,
+    all_scenarios,
+    build_scenario,
+    get_scenario,
+    scenario_names,
 )
 from .metrics import (
     FairnessStats,
@@ -120,18 +128,22 @@ __all__ = [
     "PolicyRun",
     "ReservationProfile",
     "RunOptions",
+    "Scenario",
     "SimulationResult",
     "SummaryStats",
     "Workload",
     "WorkloadSpec",
     "aggregate_cells",
+    "all_scenarios",
     "bench_workload",
+    "build_scenario",
     "cell_key",
     "consp_fst",
     "fairness_stats",
     "generate_cplant_workload",
     "generate_replications",
     "get_policy",
+    "get_scenario",
     "parent_view",
     "policy_names",
     "random_workload",
@@ -142,7 +154,9 @@ __all__ = [
     "run_cell",
     "run_policy",
     "run_policy_with_options",
+    "run_scenario",
     "run_suite",
+    "scenario_names",
     "sabin_fst",
     "split_by_runtime_limit",
     "summarize",

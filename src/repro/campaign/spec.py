@@ -26,6 +26,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.engine import KillPolicy
 from ..experiments.runner import RunOptions
+from ..scenarios import get_scenario
 from ..sched.registry import get_policy, validate_overrides
 from ..workload.generator import (
     GeneratorConfig,
@@ -37,7 +38,7 @@ from ..workload.model import Workload
 from ..workload.swf import read_swf
 
 #: workload kinds a spec may name
-WORKLOAD_KINDS = ("cplant", "random", "swf")
+WORKLOAD_KINDS = ("cplant", "random", "swf", "scenario")
 
 
 def _canonical_pairs(d: Optional[Mapping[str, object]]) -> Tuple[Tuple[str, object], ...]:
@@ -64,16 +65,21 @@ def _swf_digest(path: str) -> str:
 class WorkloadSpec:
     """One workload *family*: a generator configuration or a trace file.
 
-    Generator kinds (``cplant``, ``random``) become one grid cell per seed;
-    ``seeds`` wins when given, otherwise ``seed`` is spawned into the
-    campaign's ``replications`` independent seeds.  ``swf`` reads a fixed
-    trace, so it contributes exactly one seedless instance whose identity
-    is the file's content hash (edit the trace and the cache misses).
+    Generator kinds (``cplant``, ``random``, ``scenario``) become one grid
+    cell per seed; ``seeds`` wins when given, otherwise ``seed`` is spawned
+    into the campaign's ``replications`` independent seeds.  ``swf`` reads
+    a fixed trace, so it contributes exactly one seedless instance whose
+    identity is the file's content hash (edit the trace and the cache
+    misses).  ``scenario`` names a registered scenario recipe; its params
+    are scenario parameters and its identity carries the *resolved*
+    parameter set, so an explicit default and an omitted one cache as the
+    same cell.
     """
 
     kind: str
     params: Tuple[Tuple[str, object], ...] = ()
     path: Optional[str] = None
+    scenario: Optional[str] = None
     seed: int = 0
     seeds: Optional[Tuple[int, ...]] = None
 
@@ -84,6 +90,8 @@ class WorkloadSpec:
             )
         if self.kind == "swf" and not self.path:
             raise ValueError("swf workload needs a 'path'")
+        if self.kind == "scenario" and not self.scenario:
+            raise ValueError("scenario workload needs a 'scenario' name")
         params = dict(self.params)
         bad = sorted(
             k for k, v in params.items()
@@ -108,15 +116,17 @@ class WorkloadSpec:
     @classmethod
     def from_dict(cls, d: Mapping[str, object]) -> "WorkloadSpec":
         d = dict(d)
-        kind = str(d.pop("kind", "cplant"))
+        scenario = d.pop("scenario", None)
+        kind = str(d.pop("kind", "scenario" if scenario is not None else "cplant"))
         path = d.pop("path", None)
         seed = int(d.pop("seed", 0))
         seeds = d.pop("seeds", None)
-        # remaining keys are generator parameters (scale, n_jobs, load, ...)
+        # remaining keys are generator/scenario parameters (scale, alpha, ...)
         return cls(
             kind=kind,
             params=_canonical_pairs(d),
             path=str(path) if path is not None else None,
+            scenario=str(scenario) if scenario is not None else None,
             seed=seed,
             seeds=tuple(int(s) for s in seeds) if seeds is not None else None,
         )
@@ -125,6 +135,8 @@ class WorkloadSpec:
         out: Dict[str, object] = {"kind": self.kind, **dict(self.params)}
         if self.path is not None:
             out["path"] = self.path
+        if self.scenario is not None:
+            out["scenario"] = self.scenario
         if self.seeds is not None:
             out["seeds"] = list(self.seeds)
         elif self.kind != "swf":
@@ -143,6 +155,12 @@ class WorkloadSpec:
                 raise ValueError(
                     f"swf workload takes no generator params, got {sorted(params)}"
                 )
+        elif self.kind == "scenario":
+            try:
+                sc = get_scenario(str(self.scenario))
+            except KeyError as exc:
+                raise ValueError(str(exc.args[0])) from None
+            sc.resolve_params(params)  # unknown parameter names fail here
         elif self.kind == "cplant":
             try:
                 GeneratorConfig(**params)
@@ -176,6 +194,15 @@ class WorkloadSpec:
                 "path": str(self.path),
                 "sha256": _swf_digest(str(self.path)),
             }
+        if self.kind == "scenario":
+            # resolved (defaults filled in): a spec naming the default value
+            # explicitly is the same family as one omitting it
+            resolved = get_scenario(str(self.scenario)).resolve_params(dict(self.params))
+            return {
+                "kind": "scenario",
+                "scenario": str(self.scenario),
+                "params": resolved,
+            }
         return {"kind": self.kind, "params": dict(self.params)}
 
     def build(self, seed: Optional[int]) -> Workload:
@@ -183,6 +210,8 @@ class WorkloadSpec:
         if self.kind == "swf":
             assert self.path is not None
             return read_swf(self.path)
+        if self.kind == "scenario":
+            return get_scenario(str(self.scenario)).build(seed=int(seed or 0), **params)
         if self.kind == "cplant":
             return generate_cplant_workload(GeneratorConfig(**params), seed=int(seed or 0))
         return random_workload(seed=int(seed or 0), **params)
@@ -190,8 +219,9 @@ class WorkloadSpec:
     def label(self, seed: Optional[int]) -> str:
         if self.kind == "swf":
             return f"swf:{Path(str(self.path)).name}"
+        head = self.scenario if self.kind == "scenario" else self.kind
         inner = ",".join(f"{k}={v}" for k, v in self.params)
-        return f"{self.kind}({inner},seed={seed})" if inner else f"{self.kind}(seed={seed})"
+        return f"{head}({inner},seed={seed})" if inner else f"{head}(seed={seed})"
 
 
 @dataclass(frozen=True)
@@ -290,7 +320,7 @@ class CampaignSpec:
 
     #: keys :meth:`from_dict` understands — anything else is a typo
     _SPEC_KEYS = frozenset({
-        "name", "policies", "workloads", "overrides", "sweep",
+        "name", "policies", "workloads", "scenarios", "overrides", "sweep",
         "replications", "estimate_mode", "epsilon", "kill_policy",
         "validate_engine",
     })
@@ -306,6 +336,14 @@ class CampaignSpec:
             )
         workloads = tuple(
             WorkloadSpec.from_dict(w) for w in d.get("workloads", ())
+        )
+        # "scenarios" is workload shorthand: a name string, or a dict with
+        # "scenario" plus parameters/seeds, each one workload family
+        workloads += tuple(
+            WorkloadSpec.from_dict(
+                {"scenario": s} if isinstance(s, str) else {"kind": "scenario", **s}
+            )
+            for s in d.get("scenarios", ())
         )
         overrides = tuple(
             tuple(dict(v).items()) for v in d.get("overrides", [{}])

@@ -9,6 +9,10 @@ Subcommands::
     repro-sched tables    --scale 1.0          # print Tables 1-2
     repro-sched sweep     campaign.json --jobs 4   # parallel cached sweep
     repro-sched policies                        # list known policies
+    repro-sched scenarios list                  # the scenario library
+    repro-sched scenarios describe heavy-tail-runtimes
+    repro-sched scenarios run heavy-tail-runtimes --set alpha=1.3
+    repro-sched scenarios export bursty-arrivals --out bursty.swf
 
 ``python -m repro ...`` works too, and ``pip install -e .`` provides the
 ``repro`` entry point.
@@ -36,7 +40,8 @@ from .experiments.export import (
     export_suite_csv,
     export_suite_json,
 )
-from .experiments.runner import run_policy, run_suite
+from .experiments.runner import run_policy, run_scenario, run_suite
+from .scenarios import all_scenarios, get_scenario
 from .workload.analysis import render_analysis
 from .experiments.tables import (
     render_table1,
@@ -72,12 +77,10 @@ def cmd_generate(args) -> int:
     return 0
 
 
-def cmd_run(args) -> int:
-    wl = _load_workload(args)
-    print(wl.describe())
-    run = run_policy(wl, args.policy)
+def _print_policy_report(key: str, run) -> None:
+    """The standard per-policy report (shared by `run` and `scenarios run`)."""
     s, f = run.summary, run.fairness
-    print(f"policy: {args.policy}")
+    print(f"policy: {key}")
     print(f"  jobs completed        : {s.n_jobs}")
     print(f"  avg wait              : {s.avg_wait:,.0f} s")
     print(f"  avg turnaround (Eq.1) : {s.avg_turnaround:,.0f} s")
@@ -86,6 +89,13 @@ def cmd_run(args) -> int:
     print(f"  loss of capacity(Eq.4): {100 * run.loss_of_capacity:.2f} %")
     print(f"  percent unfair jobs   : {100 * f.percent_unfair:.2f} %")
     print(f"  avg miss time (Eq.5)  : {f.average_miss_time:,.0f} s")
+
+
+def cmd_run(args) -> int:
+    wl = _load_workload(args)
+    print(wl.describe())
+    run = run_policy(wl, args.policy)
+    _print_policy_report(args.policy, run)
     return 0
 
 
@@ -199,8 +209,9 @@ def cmd_sweep(args) -> int:
     )
     def _group_label(g) -> str:
         wl = g["workload"]
+        head = wl.get("scenario") or wl["kind"]
         wname = (wl.get("path") or
-                 f"{wl['kind']}({', '.join(f'{k}={v}' for k, v in wl.get('params', {}).items())})")
+                 f"{head}({', '.join(f'{k}={v}' for k, v in wl.get('params', {}).items())})")
         if g["overrides"]:
             ov = ",".join(f"{k}={v}" for k, v in g["overrides"].items())
             wname = f"{wname} [{ov}]"
@@ -227,6 +238,66 @@ def cmd_sweep(args) -> int:
         wrote.append(args.csv)
     for path in wrote:
         print(f"wrote {path}")
+    return 0
+
+
+def _parse_param_sets(items) -> dict:
+    """``--set k=v`` pairs -> typed values (int, float, bool, or str)."""
+    out = {}
+    for item in items or ():
+        key, sep, raw = item.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--set expects key=value, got {item!r}")
+        if raw.lower() in ("true", "false"):
+            out[key] = raw.lower() == "true"
+            continue
+        for cast in (int, float):
+            try:
+                out[key] = cast(raw)
+                break
+            except ValueError:
+                continue
+        else:
+            out[key] = raw
+    return out
+
+
+def cmd_scenarios_list(_args) -> int:
+    print(f"{'scenario':<24}{'axis':<28}{'parameters'}")
+    for sc in all_scenarios():
+        params = ", ".join(f"{p.name}={p.default}" for p in sc.params) or "-"
+        print(f"{sc.name:<24}{sc.axis:<28}{params}")
+    print("\nrepro scenarios describe <name> for the full recipe; "
+          "docs/SCENARIOS.md for the catalog")
+    return 0
+
+
+def cmd_scenarios_describe(args) -> int:
+    print(get_scenario(args.name).describe())
+    return 0
+
+
+def cmd_scenarios_run(args) -> int:
+    params = _parse_param_sets(args.set)
+    sc = get_scenario(args.name)  # unknown name dies before any simulation
+    keys = args.policies.split(",") if args.policies else ["cplant24.nomax.all"]
+    print(sc.build(seed=args.seed, **params).describe())
+    # rebuilds the workload (generation is cheap next to simulation) so the
+    # scenario-option merge semantics live in run_scenario alone
+    suite = run_scenario(args.name, keys, seed=args.seed, params=params,
+                         progress=len(keys) > 1)
+    for key, run in suite.items():
+        _print_policy_report(key, run)
+    return 0
+
+
+def cmd_scenarios_export(args) -> int:
+    params = _parse_param_sets(args.set)
+    wl = get_scenario(args.name).build(seed=args.seed, **params)
+    out = args.out or f"{args.name}.swf"
+    write_swf(wl, out)
+    print(wl.describe())
+    print(f"wrote {out}")
     return 0
 
 
@@ -305,6 +376,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     ls = sub.add_parser("policies", help="list known policies")
     ls.set_defaults(fn=cmd_policies)
+
+    sc = sub.add_parser("scenarios", help="the named workload scenario library")
+    scsub = sc.add_subparsers(dest="scenario_command", required=True)
+
+    sl = scsub.add_parser("list", help="list registered scenarios")
+    sl.set_defaults(fn=cmd_scenarios_list)
+
+    sd = scsub.add_parser("describe", help="show one scenario's full recipe")
+    sd.add_argument("name")
+    sd.set_defaults(fn=cmd_scenarios_describe)
+
+    def _add_scenario_build_args(sp) -> None:
+        sp.add_argument("name")
+        sp.add_argument("--seed", type=int, default=7, help="scenario seed")
+        sp.add_argument("--set", action="append", metavar="PARAM=VALUE",
+                        help="override a scenario parameter (repeatable)")
+
+    sr = scsub.add_parser(
+        "run", help="build a scenario and run policies on it",
+    )
+    _add_scenario_build_args(sr)
+    sr.add_argument("--policies", default=None,
+                    help="comma-separated policy keys "
+                         "(default: cplant24.nomax.all)")
+    sr.set_defaults(fn=cmd_scenarios_run)
+
+    se = scsub.add_parser("export", help="write a scenario workload as SWF")
+    _add_scenario_build_args(se)
+    se.add_argument("--out", default=None,
+                    help="output path (default <scenario>.swf)")
+    se.set_defaults(fn=cmd_scenarios_export)
 
     return p
 

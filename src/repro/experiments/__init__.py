@@ -8,6 +8,7 @@ from .runner import (
     clear_suite_cache,
     run_policy,
     run_policy_with_options,
+    run_scenario,
     run_suite,
 )
 from .tables import (
@@ -30,6 +31,7 @@ __all__ = [
     "render_table2",
     "run_policy",
     "run_policy_with_options",
+    "run_scenario",
     "run_suite",
     "table1_job_counts",
     "table2_proc_hours",

@@ -213,6 +213,30 @@ def run_suite(
     return out
 
 
+def run_scenario(
+    scenario: str,
+    policies: Sequence[str] | str,
+    seed: int = 0,
+    params: Optional[Mapping[str, object]] = None,
+    progress: bool = False,
+    **kwargs,
+) -> Dict[str, PolicyRun]:
+    """Build a named scenario's workload and run policies on it.
+
+    The scenario's run-option defaults (e.g. the estimate scenarios set
+    ``estimate_mode="wcl"``) apply unless the caller overrides them; the
+    result is the standard per-policy report, one :class:`PolicyRun` per
+    policy, exactly like :func:`run_suite`.
+    """
+    from ..scenarios import get_scenario  # deferred: scenarios is a leaf pkg
+
+    sc = get_scenario(scenario)
+    wl = sc.build(seed=seed, **dict(params or {}))
+    merged = {**dict(sc.options), **kwargs}
+    keys = [policies] if isinstance(policies, str) else list(policies)
+    return run_suite(wl, keys, progress=progress, **merged)
+
+
 # -- suite memoization --------------------------------------------------------
 
 _SUITE_CACHE: Dict[Tuple, Dict[str, PolicyRun]] = {}

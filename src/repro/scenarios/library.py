@@ -1,0 +1,198 @@
+"""The stock scenario library: ten named workload regimes.
+
+Every scenario isolates one axis the fairness literature says matters:
+
+* **runtime-tail weight** — size-based policies' fairness hinges on how
+  heavy the job-size tail is (Dell'Amico, Carra & Michiardi, *On Fair
+  Size-Based Scheduling*);
+* **estimate quality** — scheduling with known vs. noisy sizes changes
+  what is achievable (Berg, Vesilo & Harchol-Balter, *heSRPT*); in this
+  simulator WCLs drive backfill reservations and kill decisions directly;
+* **arrival burstiness** — the paper's Section 2.2 overload weeks are
+  where CPlant's fairness problems appeared;
+* **user skew** — the fairshare priority only matters when heavy and
+  light users coexist (paper Section 4.1);
+* **packing pressure** — width-categorized fairness (Figures 10/12/16/18)
+  and loss of capacity (Eq. 4) respond to job width vs. machine size;
+* **runtime limits** — the paper's Section 5.1 chunking policy, exposed
+  as a workload transform so *any* policy can be studied under it.
+
+All cplant-based scenarios accept a ``scale`` parameter (fraction of the
+full 13,614-job trace; default 0.1 keeps a stock run under a minute) and
+keep the Table 1/2 calibration for everything their axis does not touch.
+"""
+
+from __future__ import annotations
+
+from .base import Param, Scenario, ScenarioParam, TransformStep, register
+
+_SCALE = ScenarioParam("scale", 0.1, "fraction of the full calibrated trace")
+
+
+CPLANT_BASELINE = register(Scenario(
+    name="cplant-baseline",
+    axis="none (calibrated reference)",
+    summary="the Table-1/Table-2-calibrated CPlant/Ross trace, unmodified",
+    motivation="paper Tables 1-2 and Figure 3: the case study's own workload",
+    params=(_SCALE,),
+    config_map=(("scale", "scale"),),
+))
+
+HEAVY_TAIL_RUNTIMES = register(Scenario(
+    name="heavy-tail-runtimes",
+    axis="runtime-tail weight",
+    summary="runtimes quantile-remapped onto a Pareto tail (median kept)",
+    motivation="Dell'Amico et al., On Fair Size-Based Scheduling: fairness "
+               "of size-based policies hinges on heavy-tailed size "
+               "distributions",
+    params=(
+        _SCALE,
+        ScenarioParam("alpha", 1.1, "Pareto shape; smaller = heavier tail"),
+    ),
+    config_map=(("scale", "scale"),),
+    transforms=(
+        TransformStep("runtime_tail",
+                      (("dist", "pareto"), ("alpha", Param("alpha")))),
+    ),
+))
+
+BURSTY_ARRIVALS = register(Scenario(
+    name="bursty-arrivals",
+    axis="arrival burstiness",
+    summary="spiked weekly profile plus flash crowds packed into short "
+            "windows",
+    motivation="paper Section 2.2: overload weeks with 'extremely high "
+               "queue lengths and wait times' are where unfairness appears",
+    params=(
+        _SCALE,
+        ScenarioParam("peak_ratio", 4.0, "spike-week load as multiple of mean"),
+        ScenarioParam("crowd_fraction", 0.25,
+                      "fraction of jobs resubmitted inside flash crowds"),
+    ),
+    config_map=(("scale", "scale"), ("peak_ratio", "peak_load_ratio")),
+    transforms=(
+        TransformStep("flash_crowds",
+                      (("fraction", Param("crowd_fraction")),
+                       ("n_crowds", 4), ("width_hours", 2.0))),
+    ),
+))
+
+ACCURATE_ESTIMATES = register(Scenario(
+    name="accurate-estimates",
+    axis="estimate quality",
+    summary="near-perfect wall-clock limits: 90% exact, tiny overestimates, "
+            "no round-number snapping",
+    motivation="Berg et al., heSRPT: scheduling with known job sizes — the "
+               "optimistic endpoint of the paper's Figures 5-7 estimate "
+               "structure",
+    generator=(("exact_estimate_prob", 0.9), ("underestimate_prob", 0.0),
+               ("round_wcl_prob", 0.0)),
+    params=(
+        _SCALE,
+        ScenarioParam("sigma", 0.05,
+                      "log10 half-normal spread of the residual "
+                      "overestimation factor"),
+    ),
+    config_map=(("scale", "scale"), ("sigma", "overest_sigma")),
+    options=(("estimate_mode", "wcl"),),
+))
+
+NOISY_ESTIMATES = register(Scenario(
+    name="noisy-estimates",
+    axis="estimate quality",
+    summary="no exact estimates and a wide overestimation spread "
+            "(sweep sigma for the error dial)",
+    motivation="Berg et al., heSRPT: error-prone size estimates; the paper's "
+               "Figure 5 shows CPlant users overestimated by 3x+ routinely",
+    generator=(("exact_estimate_prob", 0.0), ("underestimate_prob", 0.08)),
+    params=(
+        _SCALE,
+        ScenarioParam("sigma", 1.5,
+                      "log10 half-normal spread of the overestimation factor "
+                      "(calibrated trace uses 0.85)"),
+    ),
+    config_map=(("scale", "scale"), ("sigma", "overest_sigma")),
+    options=(("estimate_mode", "wcl"),),
+))
+
+ZIPF_EXTREME = register(Scenario(
+    name="zipf-extreme",
+    axis="user skew",
+    summary="a few users dominate submissions (steep Zipf exponent)",
+    motivation="paper Section 4.1: the fairshare priority exists to "
+               "discriminate heavy from light users; this is its stress end",
+    params=(
+        _SCALE,
+        ScenarioParam("s", 2.0, "Zipf exponent over user ranks "
+                                "(calibrated trace uses 1.10)"),
+    ),
+    config_map=(("scale", "scale"), ("s", "zipf_exponent")),
+))
+
+UNIFORM_USERS = register(Scenario(
+    name="uniform-users",
+    axis="user skew",
+    summary="every user submits equally often (Zipf exponent 0)",
+    motivation="fairshare's null hypothesis: with no heavy users, fairshare "
+               "order should degenerate towards FCFS (paper Section 4.1)",
+    generator=(("zipf_exponent", 0.0),),
+    params=(
+        _SCALE,
+        ScenarioParam("n_users", 120, "population size"),
+    ),
+    config_map=(("scale", "scale"), ("n_users", "n_users")),
+))
+
+NARROW_CLUSTER = register(Scenario(
+    name="narrow-cluster",
+    axis="packing pressure",
+    summary="the calibrated job mix offered to a smaller machine "
+            "(same work, fewer nodes, wide jobs near machine size)",
+    motivation="paper Figures 10/12: width-categorized fairness; shrinking "
+               "the machine raises offered load and packing difficulty "
+               "together",
+    params=(
+        _SCALE,
+        ScenarioParam("nodes", 512,
+                      "machine size (calibrated trace uses 1024)"),
+    ),
+    config_map=(("scale", "scale"), ("nodes", "system_size")),
+))
+
+WIDE_JOBS = register(Scenario(
+    name="wide-jobs",
+    axis="packing pressure",
+    summary="uniform-width jobs up to 90% of the machine: maximal "
+            "fragmentation stress",
+    motivation="paper Figures 16/18 and Eq. 4 (loss of capacity): wide jobs "
+               "are the ones backfilling strands",
+    base="random",
+    generator=(("system_size", 256), ("n_users", 24)),
+    params=(
+        ScenarioParam("n_jobs", 1200, "number of jobs"),
+        ScenarioParam("load", 1.1, "offered load (1.0 = machine saturated)"),
+        ScenarioParam("width_frac", 0.9,
+                      "widest job as a fraction of the machine"),
+    ),
+    config_map=(("n_jobs", "n_jobs"), ("load", "load"),
+                ("width_frac", "max_width_frac")),
+))
+
+RUNTIME_LIMIT_CHUNKING = register(Scenario(
+    name="runtime-limit-chunking",
+    axis="runtime limits",
+    summary="calibrated trace with the Section 5.1 maximum-runtime split "
+            "pre-applied (long jobs become checkpoint/restart chunk chains)",
+    motivation="paper Section 5.1: runtime limits as a fairness lever — "
+               "pre-applying the transform lets *nomax* policies be studied "
+               "under limits too",
+    params=(
+        _SCALE,
+        ScenarioParam("limit_hours", 72.0, "maximum runtime before splitting"),
+    ),
+    config_map=(("scale", "scale"),),
+    transforms=(
+        TransformStep("split_runtime_limit",
+                      (("limit", Param("limit_hours", scale=3600.0)),)),
+    ),
+))

@@ -13,7 +13,9 @@ from .model import Workload
 from .swf import SwfFormatError, SwfHeader, read_swf, write_swf
 from .transforms import (
     filter_width,
+    flash_crowds,
     parent_view,
+    remap_runtime_tail,
     shift_to_zero,
     split_by_runtime_limit,
 )
@@ -26,11 +28,13 @@ __all__ = [
     "categories",
     "cplant",
     "filter_width",
+    "flash_crowds",
     "generate_cplant_workload",
     "generate_replications",
     "parent_view",
     "random_workload",
     "read_swf",
+    "remap_runtime_tail",
     "replication_seeds",
     "shift_to_zero",
     "split_by_runtime_limit",

@@ -92,6 +92,9 @@ def _sample_widths(rng: np.random.Generator, cat: int, n: int, size_cap: int) ->
     lo, hi = WIDTH_BOUNDS[cat]
     open_ended = hi is None
     hi = min(hi if hi is not None else size_cap, size_cap)
+    # a bucket lying entirely above a small machine collapses to
+    # full-machine jobs (scenario machines can be far below 1024 nodes)
+    lo = min(lo, hi)
     if lo >= hi:
         return np.full(n, lo, dtype=np.int64)
     out = rng.integers(lo, hi + 1, size=n)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Sequence
 
@@ -97,6 +98,28 @@ class Workload:
         return categories.category_matrix(self.nodes(), self.runtimes(), areas_h)
 
     # -- misc -----------------------------------------------------------------------------
+
+    def content_digest(self) -> str:
+        """SHA-256 of the job list and machine size.
+
+        Floats are hashed by their exact bit pattern (``float.hex``), so
+        two workloads digest equal iff a simulation cannot tell them apart
+        — the scenario determinism contract (same recipe + seed must yield
+        the same digest in any process, mirroring campaign cache keys).
+        Names and metadata are deliberately excluded.
+        """
+        h = hashlib.sha256()
+        h.update(f"system={self.system_size};n={len(self.jobs)}".encode())
+        for j in self.jobs:
+            h.update(
+                (
+                    f"|{j.id},{j.submit_time.hex()},{j.nodes},"
+                    f"{j.runtime.hex()},{j.wcl.hex()},{j.user_id},{j.group_id},"
+                    f"{j.parent_id},{j.chunk_index},{j.chunk_count},"
+                    f"{'' if j.seniority_time is None else j.seniority_time.hex()}"
+                ).encode()
+            )
+        return h.hexdigest()
 
     def subset(self, n: int, name: str | None = None) -> "Workload":
         """First ``n`` jobs by submit order (cheap scale-down for tests)."""

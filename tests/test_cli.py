@@ -11,7 +11,7 @@ class TestParser:
         sub = {a.dest: a for a in parser._actions}["command"]
         assert set(sub.choices) == {
             "generate", "run", "compare", "figures", "tables", "policies",
-            "analyze", "export", "sweep",
+            "analyze", "export", "sweep", "scenarios",
         }
 
     def test_run_rejects_unknown_policy(self):
@@ -62,3 +62,41 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "Table 1" in out and "Table 2" in out
+
+
+class TestScenariosCommands:
+    def test_list_names_every_registered_scenario(self, capsys):
+        from repro.scenarios import scenario_names
+
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+
+    def test_describe_shows_recipe(self, capsys):
+        assert main(["scenarios", "describe", "heavy-tail-runtimes"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha" in out and "runtime_tail" in out
+
+    def test_run_prints_standard_report(self, capsys):
+        rc = main(["scenarios", "run", "wide-jobs", "--seed", "1",
+                   "--set", "n_jobs=80", "--policies", "easy.fcfs"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "policy: easy.fcfs" in out
+        assert "percent unfair" in out
+
+    def test_run_unknown_scenario_fails_fast(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            main(["scenarios", "run", "bogus-regime"])
+
+    def test_run_unknown_param_fails_fast(self):
+        with pytest.raises(ValueError, match="no parameter"):
+            main(["scenarios", "run", "wide-jobs", "--set", "bogus=1"])
+
+    def test_export_writes_swf(self, tmp_path, capsys):
+        out = tmp_path / "scen.swf"
+        rc = main(["scenarios", "export", "bursty-arrivals", "--seed", "2",
+                   "--set", "scale=0.02", "--out", str(out)])
+        assert rc == 0
+        assert out.read_text().startswith("; Version: 2")

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Docs-consistency checks (run by the CI `docs` job and usable locally).
+
+Two checks:
+
+1. **Scenario catalog** — every scenario registered in
+   ``repro.scenarios`` must appear (as `` `name` ``) in
+   docs/SCENARIOS.md, so the catalog cannot silently drift from the
+   code (the tier-1 suite asserts the same in tests/test_scenarios.py).
+2. **Link integrity** — every relative markdown link in README.md,
+   PAPER.md, and docs/*.md must point at a file that exists.
+
+Exit status 0 = consistent; 1 = problems (all listed on stderr).
+
+Usage::
+
+    python tools/check_docs.py          # from the repository root
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+#: [text](target) — target captured; images share the syntax
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check_scenario_catalog() -> list[str]:
+    from repro.scenarios import scenario_names
+
+    doc_path = ROOT / "docs" / "SCENARIOS.md"
+    if not doc_path.is_file():
+        return [f"missing {doc_path.relative_to(ROOT)}"]
+    doc = doc_path.read_text()
+    return [
+        f"docs/SCENARIOS.md: registered scenario `{name}` is not documented"
+        for name in scenario_names()
+        if f"`{name}`" not in doc
+    ]
+
+
+def check_links() -> list[str]:
+    problems: list[str] = []
+    doc_files = [ROOT / "README.md", ROOT / "PAPER.md"]
+    doc_files += sorted((ROOT / "docs").glob("*.md"))
+    for doc in doc_files:
+        if not doc.is_file():
+            continue
+        for target in _LINK.findall(doc.read_text()):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            if not (doc.parent / rel).exists():
+                problems.append(
+                    f"{doc.relative_to(ROOT)}: broken link -> {target}"
+                )
+    return problems
+
+
+def main() -> int:
+    problems = check_scenario_catalog() + check_links()
+    for p in problems:
+        print(f"[check-docs] {p}", file=sys.stderr)
+    if problems:
+        return 1
+    print("[check-docs] scenario catalog and doc links are consistent")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
