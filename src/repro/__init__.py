@@ -22,6 +22,7 @@ from .core import (
     Job,
     JobState,
     KillPolicy,
+    FreeTimeline,
     ListScheduler,
     Observer,
     ReservationProfile,
@@ -118,6 +119,7 @@ __all__ = [
     "Job",
     "JobState",
     "KillPolicy",
+    "FreeTimeline",
     "ListScheduler",
     "LossOfCapacityObserver",
     "MINOR_POLICIES",

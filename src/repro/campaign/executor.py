@@ -16,6 +16,7 @@ flattens the result into the JSON-safe metric record the cache stores.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
@@ -31,24 +32,35 @@ from .spec import CampaignCell, CampaignSpec, _swf_digest
 #: {"cache", "run"}
 ProgressFn = Callable[[int, int, CampaignCell, str], None]
 
-# per-process workload memo: many cells share one (workload, seed) instance
-_WL_CACHE: Dict[Tuple, Workload] = {}
-_WL_CACHE_MAX = 4
+# per-process workload memo: many cells share one (workload, seed) instance.
+# LRU eviction (not clear-all): a policy sweep interleaving a handful of
+# workloads must not flush the whole set when one extra workload appears.
+_WL_CACHE: "OrderedDict[Tuple, Workload]" = OrderedDict()
+_WL_CACHE_MAX = 8
 
 
-def _cell_workload(cell: CampaignCell) -> Workload:
+def _workload_key(cell: CampaignCell) -> Tuple:
+    """Identity of the generated workload a cell simulates (cells differing
+    only in policy/options share it — and share the built object)."""
     key: Tuple = (cell.workload, cell.seed)
     if cell.workload.kind == "swf":
         # the spec compares equal across a trace edit; the content digest
         # doesn't — without it an in-process edit would serve the stale
         # workload and poison the cache under the new content hash
         key += (_swf_digest(str(cell.workload.path)),)
+    return key
+
+
+def _cell_workload(cell: CampaignCell) -> Workload:
+    key = _workload_key(cell)
     wl = _WL_CACHE.get(key)
     if wl is None:
-        if len(_WL_CACHE) >= _WL_CACHE_MAX:
-            _WL_CACHE.clear()
         wl = cell.workload.build(cell.seed)
         _WL_CACHE[key] = wl
+        if len(_WL_CACHE) > _WL_CACHE_MAX:
+            _WL_CACHE.popitem(last=False)
+    else:
+        _WL_CACHE.move_to_end(key)
     return wl
 
 
@@ -167,6 +179,12 @@ def run_campaign(
                 continue
             _finish(i, metrics, dt)
     elif todo:
+        # submit cells grouped by workload identity: the pool hands out
+        # tasks in submission order, so each worker sees long runs of the
+        # same workload and its per-process memo regenerates far fewer
+        # traces (policy grids share one workload across many cells)
+        todo = sorted(todo, key=lambda i: (repr(cells[i].workload),
+                                           cells[i].seed, i))
         with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:
             submitted = {pool.submit(_run_cell_timed, cells[i]): i
                          for i in todo}

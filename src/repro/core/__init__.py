@@ -4,7 +4,7 @@ from .cluster import AllocationError, Cluster
 from .engine import Engine, KillPolicy, Observer
 from .events import Event, EventKind, EventQueue
 from .job import Job, JobState
-from .listsched import ListScheduler
+from .listsched import FreeTimeline, ListScheduler
 from .profile import ProfileError, ReservationProfile
 from .results import SimulationResult
 
@@ -15,6 +15,7 @@ __all__ = [
     "Event",
     "EventKind",
     "EventQueue",
+    "FreeTimeline",
     "Job",
     "JobState",
     "KillPolicy",

@@ -4,6 +4,12 @@ Events at equal timestamps are delivered in a deterministic order:
 completions before arrivals before timers (so a completion at time *t*
 frees nodes before the scheduling pass triggered by an arrival at *t*),
 and within a kind in insertion order.
+
+The heap holds ``(time, kind, seq, event)`` tuples rather than ordered
+Event objects: tuple comparison is a single C-level operation, where a
+``@dataclass(order=True)`` comparison builds two tuples per ``__lt__``
+call.  ``seq`` is unique, so the trailing event object never participates
+in a comparison.
 """
 
 from __future__ import annotations
@@ -11,8 +17,7 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, List, Optional, Tuple
 
 
 class EventKind(enum.IntEnum):
@@ -26,20 +31,29 @@ class EventKind(enum.IntEnum):
     WCL_CHECK = 5
 
 
-@dataclass(order=True)
 class Event:
-    time: float
-    kind: EventKind
-    seq: int
-    payload: Any = field(compare=False, default=None)
-    cancelled: bool = field(compare=False, default=False)
+    """One scheduled occurrence; identity object for cancellation."""
+
+    __slots__ = ("time", "kind", "seq", "payload", "cancelled")
+
+    def __init__(self, time: float, kind: EventKind, seq: int,
+                 payload: Any = None) -> None:
+        self.time = time
+        self.kind = kind
+        self.seq = seq
+        self.payload = payload
+        self.cancelled = False
+
+    def __repr__(self) -> str:
+        flag = ", cancelled" if self.cancelled else ""
+        return f"Event(t={self.time}, {self.kind.name}, seq={self.seq}{flag})"
 
 
 class EventQueue:
     """Heap-backed event queue with lazy cancellation."""
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: List[Tuple[float, int, int, Event]] = []
         self._counter = itertools.count()
         self._live = 0
 
@@ -52,8 +66,9 @@ class EventQueue:
     def push(self, time: float, kind: EventKind, payload: Any = None) -> Event:
         if time < 0:
             raise ValueError(f"event time must be >= 0, got {time}")
-        ev = Event(time, kind, next(self._counter), payload)
-        heapq.heappush(self._heap, ev)
+        seq = next(self._counter)
+        ev = Event(time, kind, seq, payload)
+        heapq.heappush(self._heap, (time, kind, seq, ev))
         self._live += 1
         return ev
 
@@ -64,8 +79,9 @@ class EventQueue:
             self._live -= 1
 
     def pop(self) -> Event:
-        while self._heap:
-            ev = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            ev = heapq.heappop(heap)[3]
             if ev.cancelled:
                 continue
             self._live -= 1
@@ -73,9 +89,10 @@ class EventQueue:
         raise IndexError("pop from empty EventQueue")
 
     def peek(self) -> Optional[Event]:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0] if self._heap else None
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+        return heap[0][3] if heap else None
 
     def peek_time(self) -> Optional[float]:
         ev = self.peek()

@@ -12,17 +12,132 @@ paper's "fewer restraints than a no backfill scheduler".  Holes can never
 be exploited (node availability is monotone per node), making it more
 restrictive than conservative backfilling.
 
-The hot path is NumPy ``partition``/``argpartition`` on the free-time
-vector: O(size) per placement instead of O(size log size).
+:class:`ListScheduler` keeps the full per-node vector (NumPy
+``partition``/``argpartition``, O(size) per placement) and is the readable
+reference implementation.  :class:`FreeTimeline` is the equivalent compact
+form used on the simulator hot path: per-node free times are heavily
+duplicated (at most one distinct value per running/placed job), so it
+stores a sorted (time, count) multiset and places in O(distinct values)
+— independent of machine size.  The two produce byte-identical start
+times; ``tests/test_listsched.py`` checks them against each other.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Tuple
+from bisect import bisect_left
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .job import Job
+
+
+class FreeTimeline:
+    """Sorted (free-time, node-count) multiset for a ``size``-node machine.
+
+    Semantically identical to :class:`ListScheduler`: a job needing *N*
+    nodes starts at the *N*-th smallest free time (ties between equal free
+    times are interchangeable, so only the multiset matters), and those
+    nodes become free again at start + duration.
+    """
+
+    __slots__ = ("size", "_times", "_counts")
+
+    def __init__(self, size: int, now: float = 0.0) -> None:
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        self.size = size
+        self._times: List[float] = [float(now)]
+        self._counts: List[int] = [size]
+
+    @classmethod
+    def from_pairs(
+        cls,
+        size: int,
+        now: float,
+        running: Iterable[Tuple[int, float]],
+    ) -> "FreeTimeline":
+        """Build the machine state from (nodes, free-at) pairs; remaining
+        nodes are free at ``now``.  Raises if over-subscribed."""
+        by_time = {}
+        busy = 0
+        now = float(now)
+        for nodes, end in running:
+            end = float(end)
+            if end < now:
+                end = now
+            busy += nodes
+            if end in by_time:
+                by_time[end] += nodes
+            else:
+                by_time[end] = nodes
+        if busy > size:
+            raise ValueError(
+                f"running jobs over-subscribe the machine: {busy} > {size}"
+            )
+        free = size - busy
+        if free:
+            if now in by_time:
+                by_time[now] += free
+            else:
+                by_time[now] = free
+        tl = cls.__new__(cls)
+        tl.size = size
+        tl._times = sorted(by_time)
+        tl._counts = [by_time[t] for t in tl._times]
+        return tl
+
+    def place(self, nodes: int, duration: float, earliest: float = 0.0) -> float:
+        """Place one job; returns its start time and occupies the nodes."""
+        if nodes <= 0 or nodes > self.size:
+            raise ValueError(f"cannot place {nodes} nodes on {self.size}-node machine")
+        if duration < 0:
+            raise ValueError("duration must be >= 0")
+        times = self._times
+        counts = self._counts
+        # the nodes-th smallest free time = max over the nodes earliest-free
+        acc = 0
+        i = 0
+        while acc < nodes:
+            acc += counts[i]
+            i += 1
+        start = times[i - 1]
+        if earliest > start:
+            start = earliest
+        # consume the nodes earliest-free entries...
+        if acc == nodes:
+            del times[:i]
+            del counts[:i]
+        else:
+            del times[: i - 1]
+            del counts[: i - 1]
+            counts[0] = acc - nodes
+        # ...and return them at start + duration
+        t = start + duration
+        j = bisect_left(times, t)
+        if j < len(times) and times[j] == t:
+            counts[j] += nodes
+        else:
+            times.insert(j, t)
+            counts.insert(j, nodes)
+        return start
+
+    def makespan(self) -> float:
+        return self._times[-1]
+
+    def free_time_values(self) -> List[float]:
+        """The full per-node free-time multiset, sorted (for tests)."""
+        out: List[float] = []
+        for t, c in zip(self._times, self._counts):
+            out.extend([t] * c)
+        return out
+
+    def copy(self) -> "FreeTimeline":
+        clone = FreeTimeline.__new__(FreeTimeline)
+        clone.size = self.size
+        clone._times = list(self._times)
+        clone._counts = list(self._counts)
+        return clone
 
 
 class ListScheduler:

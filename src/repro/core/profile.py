@@ -9,15 +9,23 @@ structure: "when is the earliest time a (nodes x duration) rectangle fits?"
 
 The representation is two parallel lists: ``times`` (sorted segment starts)
 and ``avail`` (available nodes on ``[times[i], times[i+1])``); the final
-segment extends to +infinity.  Operations are O(segments), which is O(queue
-length) in practice — profiling on full-trace runs showed this structure is
-not the bottleneck (the scheduling passes above it are), so it stays simple.
+segment extends to +infinity.  This is the hottest structure in the
+simulator (every conservative-backfill compression pass performs O(queue)
+release/fit/reserve cycles against it), so mutation keeps the profile
+*always coalesced* — adjacent equal segments are merged at the mutation
+boundary in O(1) extra work — and schedulers use the trusted
+``reserve_fitted``/``release_reserved`` fast paths, which skip the
+over-subscription pre-scan that :meth:`reserve`/:meth:`release` perform
+(those follow an ``earliest_fit`` or undo a prior reserve, so the scan can
+never fire).  The public validated API is unchanged and remains the
+reference behavior; ``tests/test_profile_reference.py`` checks both paths
+against a brute-force model under randomized op sequences.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import List, Tuple
+from typing import Iterable, List, Tuple
 
 
 class ProfileError(RuntimeError):
@@ -36,6 +44,48 @@ class ReservationProfile:
         self.times: List[float] = [start_time]
         self.avail: List[int] = [size]
 
+    @classmethod
+    def from_occupations(
+        cls,
+        size: int,
+        origin: float,
+        occupations: "Iterable[Tuple[int, float]]",
+    ) -> "ReservationProfile":
+        """Profile with ``(nodes, end)`` occupations all starting at
+        ``origin`` — the "running jobs" baseline that rebuild-style
+        schedulers construct at every event.  One O(n log n) pass instead
+        of n incremental reserves; the result is byte-identical (the
+        coalesced representation of a piecewise function is unique).
+        """
+        by_end = {}
+        busy = 0
+        for nodes, end in occupations:
+            busy += nodes
+            if end in by_end:
+                by_end[end] += nodes
+            else:
+                by_end[end] = nodes
+        if busy > size:
+            raise ProfileError(
+                f"occupations over-subscribe the profile: {busy} > {size}"
+            )
+        p = cls.__new__(cls)
+        p.size = size
+        times = [origin]
+        avail = [size - busy]
+        level = size - busy
+        for end in sorted(by_end):
+            if end <= origin:
+                raise ProfileError(
+                    f"occupation end {end} not after origin {origin}"
+                )
+            level += by_end[end]
+            times.append(end)
+            avail.append(level)
+        p.times = times
+        p.avail = avail
+        return p
+
     # -- queries ---------------------------------------------------------------
 
     def __len__(self) -> int:
@@ -52,10 +102,18 @@ class ReservationProfile:
         """Minimum availability over [start, end)."""
         if end <= start:
             raise ValueError(f"empty interval [{start}, {end})")
-        i = max(bisect_right(self.times, start) - 1, 0)
-        lo = self.size
-        while i < len(self.times) and self.times[i] < end:
-            lo = min(lo, self.avail[i])
+        times = self.times
+        avail = self.avail
+        i = bisect_right(times, start) - 1
+        if i < 0:
+            i = 0
+        n = len(times)
+        lo = avail[i]
+        i += 1
+        while i < n and times[i] < end:
+            a = avail[i]
+            if a < lo:
+                lo = a
             i += 1
         return lo
 
@@ -72,13 +130,18 @@ class ReservationProfile:
             raise ValueError("nodes must be positive")
         if duration <= 0:
             raise ValueError("duration must be positive")
-        earliest = max(earliest, self.times[0])
-        i = max(bisect_right(self.times, earliest) - 1, 0)
+        times = self.times
+        avail = self.avail
+        if earliest < times[0]:
+            earliest = times[0]
+        j = bisect_right(times, earliest) - 1
+        if j < 0:
+            j = 0
+        n = len(times)
         anchor = earliest
-        j = i
-        n = len(self.times)
+        end_needed = anchor + duration
         while True:
-            if self.avail[j] < nodes:
+            if avail[j] < nodes:
                 # blocked: restart the window after this segment
                 j += 1
                 if j >= n:  # cannot happen: last segment has full size... unless
@@ -86,26 +149,59 @@ class ReservationProfile:
                         "unbounded tail segment has insufficient nodes; "
                         "profile is over-committed"
                     )
-                anchor = self.times[j]
+                anchor = times[j]
+                end_needed = anchor + duration
                 continue
             # segment j satisfies the request; does the window reach duration?
-            end_needed = anchor + duration
-            if j + 1 >= n or self.times[j + 1] >= end_needed:
-                return anchor
             j += 1
+            if j >= n or times[j] >= end_needed:
+                return anchor
 
     # -- mutation ----------------------------------------------------------------
 
     def _ensure_breakpoint(self, t: float) -> int:
         """Make ``t`` a segment boundary; return its index."""
-        i = bisect_right(self.times, t) - 1
+        times = self.times
+        i = bisect_right(times, t) - 1
         if i < 0:
-            raise ValueError(f"time {t} precedes profile origin {self.times[0]}")
-        if self.times[i] == t:
+            raise ValueError(f"time {t} precedes profile origin {times[0]}")
+        if times[i] == t:
             return i
-        self.times.insert(i + 1, t)
+        times.insert(i + 1, t)
         self.avail.insert(i + 1, self.avail[i])
         return i + 1
+
+    def _apply_span(self, start: float, end: float, delta: int) -> None:
+        """Add ``delta`` over [start, end) and re-merge the two boundaries.
+
+        Interior segments keep their pairwise differences under a uniform
+        delta, so only the boundary pairs can become equal; checking those
+        two spots keeps the profile permanently coalesced.  Breakpoint
+        creation is inlined: this is the single hottest function in the
+        simulator.
+        """
+        times = self.times
+        avail = self.avail
+        i = bisect_right(times, start) - 1
+        if i < 0:
+            raise ValueError(f"time {start} precedes profile origin {times[0]}")
+        if times[i] != start:
+            i += 1
+            times.insert(i, start)
+            avail.insert(i, avail[i - 1])
+        j = bisect_right(times, end, i) - 1
+        if times[j] != end:
+            j += 1
+            times.insert(j, end)
+            avail.insert(j, avail[j - 1])
+        for k in range(i, j):
+            avail[k] += delta
+        if avail[j - 1] == avail[j]:
+            del times[j]
+            del avail[j]
+        if i > 0 and avail[i - 1] == avail[i]:
+            del times[i]
+            del avail[i]
 
     def _apply(self, start: float, end: float, delta: int) -> None:
         if end <= start:
@@ -119,20 +215,23 @@ class ReservationProfile:
                 f"{lo} available, delta {delta}"
             )
         if delta > 0:
-            i = max(bisect_right(self.times, start) - 1, 0)
+            times = self.times
+            avail = self.avail
+            i = bisect_right(times, start) - 1
+            if i < 0:
+                i = 0
             mx = 0
-            while i < len(self.times) and self.times[i] < end:
-                mx = max(mx, self.avail[i])
+            n = len(times)
+            while i < n and times[i] < end:
+                if avail[i] > mx:
+                    mx = avail[i]
                 i += 1
             if mx + delta > self.size:
                 raise ProfileError(
                     f"release beyond capacity on [{start}, {end}): "
                     f"{mx} + {delta} > {self.size}"
                 )
-        i = self._ensure_breakpoint(start)
-        j = self._ensure_breakpoint(end)
-        for k in range(i, j):
-            self.avail[k] += delta
+        self._apply_span(start, end, delta)
 
     def reserve(self, start: float, end: float, nodes: int) -> None:
         """Commit ``nodes`` over [start, end)."""
@@ -146,28 +245,62 @@ class ReservationProfile:
             raise ValueError("nodes must be positive")
         self._apply(start, end, +nodes)
 
+    def reserve_fitted(self, start: float, end: float, nodes: int) -> None:
+        """Trusted fast path: commit a rectangle known to fit.
+
+        Callers must have obtained ``start`` from :meth:`earliest_fit` (or
+        otherwise guaranteed ``min_available(start, end) >= nodes``); the
+        over-subscription pre-scan is skipped.  Misuse is caught by
+        :meth:`check_invariants` and the differential test suite, not here.
+        """
+        self._apply_span(start, end, -nodes)
+
+    def release_reserved(self, start: float, end: float, nodes: int) -> None:
+        """Trusted fast path: undo a rectangle known to be reserved."""
+        self._apply_span(start, end, nodes)
+
     def coalesce(self) -> None:
-        """Merge adjacent segments with equal availability."""
-        if len(self.times) <= 1:
+        """Merge adjacent segments with equal availability.
+
+        Mutations keep the profile coalesced, so this scans (O(segments),
+        no allocation) and only rebuilds if a stray pair exists — it stays
+        cheap to call defensively.
+        """
+        avail = self.avail
+        n = len(avail)
+        for i in range(1, n):
+            if avail[i] == avail[i - 1]:
+                break
+        else:
             return
-        nt: List[float] = [self.times[0]]
-        na: List[int] = [self.avail[0]]
-        for t, a in zip(self.times[1:], self.avail[1:]):
+        times = self.times
+        nt: List[float] = times[:i]
+        na: List[int] = avail[:i]
+        for k in range(i, n):
+            a = avail[k]
             if a == na[-1]:
                 continue
-            nt.append(t)
+            nt.append(times[k])
             na.append(a)
         self.times = nt
         self.avail = na
 
     def advance(self, now: float) -> None:
         """Forget history before ``now`` (keeps the structure small)."""
-        i = bisect_right(self.times, now) - 1
+        times = self.times
+        i = bisect_right(times, now) - 1
         if i <= 0:
             return
-        self.times = self.times[i:]
-        self.avail = self.avail[i:]
-        self.times[0] = now
+        avail = self.avail
+        del times[:i]
+        del avail[:i]
+        times[0] = now
+        # trimming can leave the new head equal to its successor (the old
+        # head differed only in the forgotten past); merge here instead of
+        # waiting for a coalesce pass
+        while len(avail) > 1 and avail[0] == avail[1]:
+            del times[1]
+            del avail[1]
 
     # -- introspection -------------------------------------------------------------
 

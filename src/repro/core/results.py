@@ -8,6 +8,7 @@ the simulated horizon, and any per-job side channels observers recorded
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List
 
@@ -53,3 +54,27 @@ class SimulationResult:
                 f"no '{key}' series; attach the matching observer before running"
             )
         return self.series[key]
+
+    def digest(self) -> str:
+        """Canonical content hash of the simulation outcome.
+
+        Covers every per-job time, every observer series value, and the
+        event count, each rendered with ``repr`` (exact float round-trip),
+        so two runs agree iff they are byte-identical.  This is the
+        equality oracle for the performance work: optimized and reference
+        code paths must produce the same digest on the same inputs.
+        """
+        h = hashlib.sha256()
+        h.update(f"size={self.cluster_size};end={self.end_time!r};"
+                 f"events={self.events_processed}".encode())
+        for j in sorted(self.jobs, key=lambda j: j.id):
+            h.update(
+                f"|{j.id}:{j.submit_time!r}:{j.nodes}:{j.start_time!r}:"
+                f"{j.end_time!r}:{j.state.value}".encode()
+            )
+        for name in sorted(self.series):
+            h.update(f"|series:{name}".encode())
+            vals = self.series[name]
+            for k in sorted(vals):
+                h.update(f"|{k}:{vals[k]!r}".encode())
+        return h.hexdigest()

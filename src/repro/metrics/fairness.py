@@ -31,7 +31,7 @@ import numpy as np
 
 from ..core.engine import Engine, KillPolicy, Observer
 from ..core.job import Job, JobState
-from ..core.listsched import ListScheduler
+from ..core.listsched import FreeTimeline
 from ..core.profile import ReservationProfile
 from ..core.results import SimulationResult
 
@@ -57,6 +57,14 @@ class HybridFSTObserver(Observer):
 
     The observer requires a scheduler that exposes ``waiting_jobs()`` and a
     fairshare ``tracker`` (every :class:`repro.sched.BaseScheduler` does).
+
+    Implementation: the running-occupation view is maintained incrementally
+    from the ``on_start``/``on_completion`` hooks (in ``"perfect"`` mode an
+    occupation's hypothetical end is fixed the moment the job starts, so
+    nothing is recomputed per arrival), and the hypothetical no-backfill
+    schedule is built on a compact :class:`FreeTimeline` multiset —
+    O(occupations) per placement instead of O(machine size) — stopping at
+    the arriving job, whose start later entries in the order cannot move.
     """
 
     def __init__(self, estimate_mode: str = "perfect", basis: str = "fairshare") -> None:
@@ -68,9 +76,19 @@ class HybridFSTObserver(Observer):
         self.basis = basis
         self.fst: Dict[int, float] = {}
         self._engine: Engine | None = None
+        #: running occupations, maintained across events:
+        #: job id -> (nodes, fixed hypothetical end)        ("perfect")
+        #: job id -> (nodes, start + wcl, tail wcl)         ("wcl")
+        self._occupied: Dict[int, tuple] = {}
+        #: per-job hypothetical durations (immutable for a given run —
+        #: runtime/wcl and chain tails never change); queued jobs are
+        #: re-placed at every arrival, so this memo is hit constantly
+        self._durations: Dict[int, float] = {}
 
     def on_attach(self, engine: Engine) -> None:
         self._engine = engine
+        self._occupied = {}
+        self._durations = {}
         sched = engine.scheduler
         if not hasattr(sched, "waiting_jobs") or not hasattr(sched, "tracker"):
             raise TypeError(
@@ -82,28 +100,52 @@ class HybridFSTObserver(Observer):
         """Hypothetical-schedule duration: a chunk carries its whole
         remaining chain, so the fair reference treats the original trace job
         as one contiguous block regardless of runtime-limit splitting."""
+        d = self._durations.get(job.id)
+        if d is not None:
+            return d
         if self.estimate_mode == "wcl":
-            return job.wcl + self._engine.chain_tail_wcl(job)
-        rt = job.runtime
-        if self._engine.kill_policy is KillPolicy.AT_WCL:
-            rt = min(rt, job.wcl)
-        return max(rt + self._engine.chain_tail_runtime(job), 1e-9)
+            d = job.wcl + self._engine.chain_tail_wcl(job)
+        else:
+            rt = job.runtime
+            if self._engine.kill_policy is KillPolicy.AT_WCL:
+                rt = min(rt, job.wcl)
+            d = max(rt + self._engine.chain_tail_runtime(job), 1e-9)
+        self._durations[job.id] = d
+        return d
 
-    def _running_end(self, job: Job, now: float) -> float:
+    def on_start(self, job: Job, now: float) -> None:
         if self.estimate_mode == "wcl":
-            return max(job.expected_end(now), now + self._engine.chain_tail_wcl(job))
-        end = job.start_time + self._duration_of(job)
-        return max(end, now)
+            self._occupied[job.id] = (
+                job.nodes, job.start_time + job.wcl,
+                self._engine.chain_tail_wcl(job),
+            )
+        else:
+            # in perfect mode the hypothetical end never moves: the job's
+            # (kill-policy-capped) runtime plus its chain tail is >= the
+            # real occupation, so max(end, now) == end while it runs
+            self._occupied[job.id] = (
+                job.nodes, job.start_time + self._duration_of(job),
+            )
+
+    def on_completion(self, job: Job, now: float) -> None:
+        self._occupied.pop(job.id, None)
+
+    def _occupation_pairs(self, now: float):
+        if self.estimate_mode == "wcl":
+            for nodes, wcl_end, tail in self._occupied.values():
+                end = now + tail
+                if wcl_end > end:
+                    end = wcl_end
+                yield nodes, end
+        else:
+            yield from self._occupied.values()
 
     def on_arrival(self, job: Job, now: float) -> None:
         engine = self._engine
         sched = engine.scheduler
-        cluster = engine.cluster
         # machine state: running occupations at their (mode-dependent) ends
-        ls = ListScheduler.from_running(
-            cluster.size,
-            now,
-            ((r.nodes, self._running_end(r, now)) for r in cluster.running_jobs()),
+        tl = FreeTimeline.from_pairs(
+            engine.cluster.size, now, self._occupation_pairs(now)
         )
         # hypothetical: everyone queued right now runs in the socially-just
         # order, no backfilling.  Placement can stop at the arriving job —
@@ -113,10 +155,11 @@ class HybridFSTObserver(Observer):
         else:
             order = sorted(sched.waiting_jobs(),
                            key=lambda j: (j.submit_time, j.id))
+        target = job.id
         for queued in order:
-            start = ls.place(queued.nodes, self._duration_of(queued), earliest=now)
-            if queued.id == job.id:
-                self.fst[job.id] = start
+            start = tl.place(queued.nodes, self._duration_of(queued), earliest=now)
+            if queued.id == target:
+                self.fst[target] = start
                 return
         raise RuntimeError(f"arriving job {job.id} missing from waiting_jobs()")
 
@@ -141,7 +184,7 @@ def consp_fst(jobs: Sequence[Job], system_size: int) -> Dict[int, float]:
     for job in sorted(jobs, key=lambda j: (j.submit_time, j.id)):
         rt = max(job.runtime, 1e-9)
         start = profile.earliest_fit(job.nodes, rt, job.submit_time)
-        profile.reserve(start, start + rt, job.nodes)
+        profile.reserve_fitted(start, start + rt, job.nodes)
         out[job.id] = start
     return out
 

@@ -5,7 +5,12 @@ completion hooks).  The base class owns:
 
 * the waiting-job list,
 * the fairshare usage tracker and its daily decay tick,
-* start bookkeeping (usage charging, queue removal).
+* start bookkeeping (usage charging, queue removal),
+* the priority-order cache: sorting the queue is needed at every
+  scheduling event (often several times per pass), but the fairshare order
+  only changes when some user's decayed usage changes or the queue gains a
+  member, so :meth:`ordered_queue` re-sorts only then and otherwise
+  maintains the cached order under removals.
 """
 
 from __future__ import annotations
@@ -17,6 +22,20 @@ from ..core.events import EventKind
 from ..core.job import Job
 from .fairshare import DAY, FairshareTracker
 from .queues import OrderingPolicy, fcfs_order, make_fairshare_order
+
+
+def _remove_identical(jobs: List[Job], job: Job) -> bool:
+    """Remove ``job`` (the very object) from a list; True if found.
+
+    ``list.remove`` falls back to the dataclass ``__eq__`` (a 15-field
+    tuple build) for every non-identical element it scans past; queues
+    hold each job object exactly once, so an identity scan suffices.
+    """
+    for i, candidate in enumerate(jobs):
+        if candidate is job:
+            del jobs[i]
+            return True
+    return False
 
 
 class BaseScheduler(SchedulerProtocol):
@@ -41,6 +60,8 @@ class BaseScheduler(SchedulerProtocol):
         self.priority = priority
         self.queue: List[Job] = []
         self.engine: Optional[Engine] = None
+        self._order_cache: Optional[List[Job]] = None
+        self._order_version = -1
 
     # -- engine protocol ---------------------------------------------------------
 
@@ -52,6 +73,7 @@ class BaseScheduler(SchedulerProtocol):
 
     def enqueue(self, job: Job, now: float) -> None:
         self.queue.append(job)
+        self._order_cache = None
 
     def on_completion(self, job: Job, now: float) -> None:
         self.tracker.job_finished(job, now)
@@ -72,12 +94,36 @@ class BaseScheduler(SchedulerProtocol):
 
     def start(self, job: Job, now: float) -> None:
         """Start a queued job: allocate, charge usage, drop from the queue."""
-        self.queue.remove(job)
+        if not _remove_identical(self.queue, job):
+            raise ValueError(f"job {job.id} is not queued")
+        self._drop_from_order(job)
         self.engine.start_job(job)
         self.tracker.job_started(job, now)
 
+    def _drop_from_order(self, job: Job) -> None:
+        """Keep the cached priority order valid across a queue removal
+        (removal preserves the relative order of everyone else)."""
+        if self._order_cache is not None:
+            if not _remove_identical(self._order_cache, job):
+                self._order_cache = None
+
     def ordered_queue(self, now: float) -> List[Job]:
-        return self.ordering(self.queue, now)
+        """The queue in priority order; cached between usage changes.
+
+        Callers may iterate the returned list but must not mutate it; a
+        concurrent :meth:`start` edits it in place (by design, so loops of
+        the form "re-fetch order, start one job" stay O(queue) per round).
+        """
+        if self.priority == "fairshare":
+            self.tracker.settle(now)
+            version = self.tracker.usage_version
+        else:
+            version = 0  # fcfs: order depends only on membership
+        if self._order_cache is not None and self._order_version == version:
+            return self._order_cache
+        self._order_cache = self.ordering(self.queue, now)
+        self._order_version = version
+        return self._order_cache
 
     def waiting_jobs(self) -> List[Job]:
         """All jobs the scheduler is holding (subclasses with secondary

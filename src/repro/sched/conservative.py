@@ -16,10 +16,25 @@ Inaccurate user estimates make this interesting in two directions:
   profile; we then rebuild it, bumping the overrunning job's predicted end
   by ``overrun_extension`` at each event until it actually finishes, the
   standard trick in backfilling simulators.
+
+Hot-path engineering (results are byte-identical to the straightforward
+implementation; the digest regression tests enforce this):
+
+* overrun/overdue detection reads the top of two lazily-invalidated
+  min-heaps (predicted ends, reservation starts) instead of scanning the
+  full dicts at every event;
+* the compression pass is skipped outright when the profile cannot have
+  gained availability since the last pass (no early-finish release and no
+  prior in-pass movement) — re-placing every job would reproduce the same
+  reservations, because a pass that moves nobody proves each job is at its
+  earliest fit given all the others;
+* profile mutations use the trusted ``reserve_fitted``/``release_reserved``
+  fast paths (every reserve follows an ``earliest_fit``).
 """
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Dict, List, Tuple
 
 from ..core.job import Job
@@ -49,6 +64,13 @@ class ConservativeScheduler(BaseScheduler):
         self.reservations: Dict[int, Tuple[float, float]] = {}
         #: running-job predicted completion times (profile occupation ends)
         self.predicted_end: Dict[int, float] = {}
+        #: min-heaps over (value, job id); entries are invalidated lazily by
+        #: comparing against the dicts above, so a dict update just pushes
+        self._end_heap: List[Tuple[float, int]] = []
+        self._res_heap: List[Tuple[float, int]] = []
+        #: True iff the profile may have gained availability since the last
+        #: compression pass (early-finish release, or that pass moved a job)
+        self._holes_dirty = False
 
     def attach(self, engine) -> None:
         super().attach(engine)
@@ -59,8 +81,10 @@ class ConservativeScheduler(BaseScheduler):
     def enqueue(self, job: Job, now: float) -> None:
         super().enqueue(job, now)
         start = self.profile.earliest_fit(job.nodes, job.wcl, now)
-        self.profile.reserve(start, start + job.wcl, job.nodes)
-        self.reservations[job.id] = (start, start + job.wcl)
+        end = start + job.wcl
+        self.profile.reserve_fitted(start, end, job.nodes)
+        self.reservations[job.id] = (start, end)
+        heappush(self._res_heap, (start, job.id))
 
     def start(self, job: Job, now: float) -> None:
         # the reservation interval simply becomes the running occupation
@@ -70,6 +94,7 @@ class ConservativeScheduler(BaseScheduler):
                 f"job {job.id} started before its reservation ({res_start} > {now})"
             )
         self.predicted_end[job.id] = res_end
+        heappush(self._end_heap, (res_end, job.id))
         super().start(job, now)
 
     def on_completion(self, job: Job, now: float) -> None:
@@ -77,7 +102,8 @@ class ConservativeScheduler(BaseScheduler):
         pe = self.predicted_end.pop(job.id)
         if pe > now:
             # finished early: give the hole back
-            self.profile.release(now, pe, job.nodes)
+            self.profile.release_reserved(now, pe, job.nodes)
+            self._holes_dirty = True
 
     # -- scheduling pass -----------------------------------------------------------
 
@@ -85,13 +111,20 @@ class ConservativeScheduler(BaseScheduler):
         self.profile.advance(now)
         if self._has_overrun(now) or self._has_overdue(now):
             self._rebuild(now)
-        elif reason == "completion":
+        elif reason == "completion" and self._holes_dirty:
             self._improve(now)
         self._start_due(now)
-        self.profile.coalesce()
 
     def _has_overrun(self, now: float) -> bool:
-        return any(pe <= now for pe in self.predicted_end.values())
+        heap = self._end_heap
+        ends = self.predicted_end
+        while heap:
+            pe, jid = heap[0]
+            if ends.get(jid) != pe:
+                heappop(heap)  # completed or re-predicted since pushed
+                continue
+            return pe <= now
+        return False
 
     def _has_overdue(self, now: float) -> bool:
         """A reservation whose start slid into the past without the job
@@ -99,50 +132,109 @@ class ConservativeScheduler(BaseScheduler):
         anchored at a bumped prediction no event ever fired at).  The
         no-worsening contract of the improvement pass does not apply; the
         schedule must be rebuilt."""
-        return any(s < now - EPS for s, _ in self.reservations.values())
+        heap = self._res_heap
+        res = self.reservations
+        threshold = now - EPS
+        while heap:
+            s, jid = heap[0]
+            r = res.get(jid)
+            if r is None or r[0] != s:
+                heappop(heap)  # started or re-placed since pushed
+                continue
+            return s < threshold
+        return False
+
+    def _occupations(self, now: float):
+        """(nodes, predicted end) per running job, refreshing overrun
+        predictions (and their heap entries) in place."""
+        predicted = self.predicted_end
+        for rj in self.cluster.running_jobs():
+            pe = predicted[rj.id]
+            if pe <= now:
+                pe = now + self.overrun_extension
+                predicted[rj.id] = pe
+                heappush(self._end_heap, (pe, rj.id))
+            yield rj.nodes, pe
+
+    def _compact_heaps(self) -> None:
+        """Drop accumulated stale entries so rebuild-heavy runs stay lean."""
+        if len(self._end_heap) > 2 * len(self.predicted_end) + 64:
+            self._end_heap = [
+                (pe, jid) for pe, jid in self._end_heap
+                if self.predicted_end.get(jid) == pe
+            ]
+            self._end_heap.sort()
+        if len(self._res_heap) > 2 * len(self.reservations) + 64:
+            self._res_heap = [
+                (s, jid) for s, jid in self._res_heap
+                if (r := self.reservations.get(jid)) is not None and r[0] == s
+            ]
+            self._res_heap.sort()
 
     def _rebuild(self, now: float) -> None:
         """Recompute the whole profile: running occupations with refreshed
-        predictions, then queued reservations re-placed in priority order."""
-        self.profile = ReservationProfile(self.cluster.size, now)
-        for rj in self.cluster.running_jobs():
-            pe = self.predicted_end[rj.id]
-            if pe <= now:
-                pe = now + self.overrun_extension
-                self.predicted_end[rj.id] = pe
-            self.profile.reserve(now, pe, rj.nodes)
-        self.reservations = {}
-        for job in self.ordering(self.queue, now):
-            start = self.profile.earliest_fit(job.nodes, job.wcl, now)
-            self.profile.reserve(start, start + job.wcl, job.nodes)
-            self.reservations[job.id] = (start, start + job.wcl)
+        predictions, then queued reservations re-placed in priority order.
+        Every job lands at its earliest fit given all its predecessors, so
+        the resulting schedule is stable — no compression pass can improve
+        it until some release frees new room."""
+        profile = ReservationProfile.from_occupations(
+            self.cluster.size, now, self._occupations(now)
+        )
+        self.profile = profile
+        reservations: Dict[int, Tuple[float, float]] = {}
+        res_heap = self._res_heap
+        for job in self.ordered_queue(now):
+            start = profile.earliest_fit(job.nodes, job.wcl, now)
+            end = start + job.wcl
+            profile.reserve_fitted(start, end, job.nodes)
+            reservations[job.id] = (start, end)
+            heappush(res_heap, (start, job.id))
+        self.reservations = reservations
+        self._holes_dirty = False
+        self._compact_heaps()
 
     def _improve(self, now: float) -> None:
         """Compression: each job re-places into the earliest fit, in priority
         order.  Removing a reservation before re-placing guarantees the new
         start is never later than the old one."""
-        for job in self.ordering(self.queue, now):
-            old_start, old_end = self.reservations[job.id]
-            self.profile.release(max(old_start, now), old_end, job.nodes)
-            start = self.profile.earliest_fit(job.nodes, job.wcl, now)
+        profile = self.profile
+        reservations = self.reservations
+        moved = False
+        for job in self.ordered_queue(now):
+            old_start, old_end = reservations[job.id]
+            nodes = job.nodes
+            profile.release_reserved(max(old_start, now), old_end, nodes)
+            start = profile.earliest_fit(nodes, job.wcl, now)
             if start > old_start + EPS:
                 raise RuntimeError(
                     f"compression worsened job {job.id}: {old_start} -> {start}"
                 )
-            self.profile.reserve(start, start + job.wcl, job.nodes)
-            self.reservations[job.id] = (start, start + job.wcl)
+            end = start + job.wcl
+            profile.reserve_fitted(start, end, nodes)
+            if start != old_start:
+                reservations[job.id] = (start, end)
+                heappush(self._res_heap, (start, job.id))
+                moved = True
+        # if nobody moved, every job is provably at its earliest fit given
+        # the others; future passes are no-ops until the next release
+        self._holes_dirty = moved
+        self._compact_heaps()
 
     def _start_due(self, now: float) -> None:
+        reservations = self.reservations
+        threshold = now + EPS
         due = [
             job for job in self.queue
-            if self.reservations[job.id][0] <= now + EPS
+            if reservations[job.id][0] <= threshold
         ]
-        due.sort(key=lambda j: (self.reservations[j.id][0], j.submit_time, j.id))
+        if not due:
+            return
+        due.sort(key=lambda j: (reservations[j.id][0], j.submit_time, j.id))
         for job in due:
             if not self.cluster.fits(job):
                 raise RuntimeError(
                     f"profile/cluster disagree: job {job.id} reserved at "
-                    f"{self.reservations[job.id][0]} but only "
+                    f"{reservations[job.id][0]} but only "
                     f"{self.cluster.free_nodes} nodes free at {now}"
                 )
             self.start(job, now)

@@ -63,30 +63,36 @@ class DepthKScheduler(BaseScheduler):
         self.predicted_end[job.id] = now + job.wcl
         super().start(job, now)
 
-    def schedule(self, now: float, reason: str) -> None:
-        profile = ReservationProfile(self.cluster.size, now)
+    def _occupations(self, now: float):
+        """(nodes, predicted end) per running job, refreshing overrun
+        predictions in place."""
+        predicted = self.predicted_end
         for rj in self.cluster.running_jobs():
-            pe = self.predicted_end[rj.id]
+            pe = predicted[rj.id]
             if pe <= now:
                 pe = now + self.overrun_extension
-                self.predicted_end[rj.id] = pe
-            profile.reserve(now, pe, rj.nodes)
+                predicted[rj.id] = pe
+            yield rj.nodes, pe
 
-        order = self.ordering(self.queue, now)
+    def schedule(self, now: float, reason: str) -> None:
+        profile = ReservationProfile.from_occupations(
+            self.cluster.size, now, self._occupations(now)
+        )
+        order = self.ordered_queue(now)
         to_start = []
         self.last_reservations = {}
         for rank, job in enumerate(order):
             if rank < self.depth:
                 # reserved tier: earliest fit, blocks later jobs
                 start = profile.earliest_fit(job.nodes, job.wcl, now)
-                profile.reserve(start, start + job.wcl, job.nodes)
+                profile.reserve_fitted(start, start + job.wcl, job.nodes)
                 self.last_reservations[job.id] = start
                 if start <= now + EPS:
                     to_start.append(job)
             else:
                 # backfill tier: start now or never (this event)
                 if profile.min_available(now, now + job.wcl) >= job.nodes:
-                    profile.reserve(now, now + job.wcl, job.nodes)
+                    profile.reserve_fitted(now, now + job.wcl, job.nodes)
                     self.last_reservations[job.id] = now
                     to_start.append(job)
         for job in to_start:

@@ -34,7 +34,13 @@ def head_reservation(
     """
     if free_now >= need:
         return now, free_now - need
-    ends = sorted((j.expected_end(now), j.nodes) for j in running)
+    # inlined job.expected_end(now): this runs once per blocked-head round,
+    # over every running job
+    ends = []
+    for j in running:
+        e = j.start_time + j.wcl
+        ends.append((e if e > now else now, j.nodes))
+    ends.sort()
     free = free_now
     shadow = None
     i = 0

@@ -36,6 +36,9 @@ class FairshareTracker:
         self._usage: Dict[int, float] = defaultdict(float)
         self._running_procs: Dict[int, int] = defaultdict(int)
         self._last_settle = 0.0
+        #: bumped whenever any user's decayed usage changes; priority-order
+        #: caches key on this to avoid re-sorting an unchanged queue
+        self.usage_version = 0
 
     # -- accounting --------------------------------------------------------------
 
@@ -47,16 +50,21 @@ class FairshareTracker:
             )
         dt = now - self._last_settle
         if dt > 0:
-            for user, procs in self._running_procs.items():
-                if procs:
-                    self._usage[user] += procs * dt
-        self._last_settle = now
+            if self._running_procs:
+                usage = self._usage
+                for user, procs in self._running_procs.items():
+                    if procs:
+                        usage[user] += procs * dt
+                self.usage_version += 1
+            self._last_settle = now
 
     def decay(self, now: float) -> None:
         """Apply one multiplicative decay tick (call every 24 h)."""
         self.settle(now)
         if self.decay_factor == 1.0:
             return
+        if self._usage:
+            self.usage_version += 1
         for user in list(self._usage):
             self._usage[user] *= self.decay_factor
             if self._usage[user] < 1e-9:

@@ -24,10 +24,9 @@ from typing import List
 
 from ..core.events import EventKind
 from ..core.job import Job, JobState
-from .base import BaseScheduler
+from .base import BaseScheduler, _remove_identical
 from .easy import head_reservation
 from .fairshare import DAY
-from .queues import seniority_order
 
 
 class NoGuaranteeScheduler(BaseScheduler):
@@ -51,6 +50,7 @@ class NoGuaranteeScheduler(BaseScheduler):
         self.heavy_factor = heavy_factor
         self.recheck_interval = recheck_interval
         self.starvation_queue: List[Job] = []
+        self._starved_ids = set()
         h = int(starvation_threshold // 3600)
         self.name = f"cplant{h}.{entrance}"
 
@@ -69,11 +69,12 @@ class NoGuaranteeScheduler(BaseScheduler):
             super().on_timer(payload, now, kind)
             return
         job: Job = payload
-        if job.state is not JobState.QUEUED or job not in self.queue:
+        if job.state is not JobState.QUEUED or job.id in self._starved_ids:
             return  # started (or already promoted) in the meantime
         if self._may_enter_starvation(job, now):
-            self.queue.remove(job)
-            self.starvation_queue.append(job)
+            _remove_identical(self.queue, job)
+            self._drop_from_order(job)
+            self._starve_insert(job)
         else:
             # barred heavy user: poll again as usage decays
             self.engine.add_timer(
@@ -85,6 +86,18 @@ class NoGuaranteeScheduler(BaseScheduler):
             return True
         return not self.tracker.is_heavy(job.user_id, now, self.heavy_factor)
 
+    def _starve_insert(self, job: Job) -> None:
+        """Insert keeping the starvation queue sorted by (seniority, id), so
+        scheduling rounds read it directly instead of re-sorting.  Timers
+        fire in near-seniority order, so this is an append in practice."""
+        sq = self.starvation_queue
+        key = (job.seniority, job.id)
+        i = len(sq)
+        while i > 0 and (sq[i - 1].seniority, sq[i - 1].id) > key:
+            i -= 1
+        sq.insert(i, job)
+        self._starved_ids.add(job.id)
+
     def waiting_jobs(self) -> List[Job]:
         return self.queue + self.starvation_queue
 
@@ -92,8 +105,9 @@ class NoGuaranteeScheduler(BaseScheduler):
 
     def start(self, job: Job, now: float) -> None:
         # jobs can live in either queue
-        if job in self.starvation_queue:
-            self.starvation_queue.remove(job)
+        if job.id in self._starved_ids:
+            self._starved_ids.discard(job.id)
+            _remove_identical(self.starvation_queue, job)
             self.engine.start_job(job)
             self.tracker.job_started(job, now)
         else:
@@ -105,7 +119,7 @@ class NoGuaranteeScheduler(BaseScheduler):
 
     def _one_round(self, now: float) -> bool:
         """One greedy round; True if a job was started."""
-        starv = seniority_order(self.starvation_queue, now)
+        starv = self.starvation_queue  # kept sorted by _starve_insert
         if starv:
             head = starv[0]
             if self.cluster.fits(head):

@@ -22,12 +22,6 @@ def fcfs_order(jobs: Iterable[Job], now: float) -> List[Job]:
     return sorted(jobs, key=lambda j: (j.submit_time, j.id))
 
 
-def seniority_order(jobs: Iterable[Job], now: float) -> List[Job]:
-    """FCFS by seniority: chunk continuations keep their original job's
-    place in line (the starvation queue's order)."""
-    return sorted(jobs, key=lambda j: (j.seniority, j.id))
-
-
 def make_fairshare_order(tracker: FairshareTracker) -> OrderingPolicy:
     """Fairshare order bound to a live usage tracker."""
 

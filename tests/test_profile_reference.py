@@ -1,0 +1,258 @@
+"""Differential tests for the optimized hot-path data structures.
+
+The reservation profile and the compact free-timeline are the two
+structures the perf work rewrote; each is pitted against a brute-force
+reference model under long randomized operation sequences.  Any divergence
+in a returned start time, an availability query, or the canonical segment
+representation fails loudly with the op index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.listsched import FreeTimeline, ListScheduler
+from repro.core.profile import ProfileError, ReservationProfile
+
+
+class ReferenceProfile:
+    """Brute-force availability model: a bag of (time, delta) breakpoints.
+
+    Every query walks the whole bag; nothing is incremental, cached, or
+    coalesced, so it cannot share a bug with the optimized structure.
+    """
+
+    def __init__(self, size: int, start_time: float = 0.0) -> None:
+        self.size = size
+        self.origin = start_time
+        self.deltas: dict = {}
+
+    def _bump(self, t: float, d: int) -> None:
+        v = self.deltas.get(t, 0) + d
+        if v:
+            self.deltas[t] = v
+        else:
+            self.deltas.pop(t, None)
+
+    def reserve(self, start: float, end: float, nodes: int) -> None:
+        self._bump(start, -nodes)
+        self._bump(end, +nodes)
+
+    def release(self, start: float, end: float, nodes: int) -> None:
+        self.reserve(start, end, -nodes)
+
+    def advance(self, now: float) -> None:
+        self.origin = max(self.origin, now)
+
+    def available_at(self, t: float) -> int:
+        return self.size + sum(d for tt, d in self.deltas.items() if tt <= t)
+
+    def min_available(self, start: float, end: float) -> int:
+        points = [start] + [t for t in self.deltas if start < t < end]
+        return min(self.available_at(p) for p in points)
+
+    def earliest_fit(self, nodes: int, duration: float, earliest: float) -> float:
+        earliest = max(earliest, self.origin)
+        candidates = [earliest] + sorted(t for t in self.deltas if t > earliest)
+        for c in candidates:
+            if self.min_available(c, c + duration) >= nodes:
+                return c
+        raise AssertionError("unbounded tail should always fit")
+
+    def segments(self, from_time=None):
+        """Canonical coalesced (start, avail) list from ``from_time``.
+
+        ``advance`` into the interior of a segment keeps the optimized
+        profile's head at the segment start (there is nothing to trim), so
+        the comparison anchors at the profile's actual head time.
+        """
+        t0 = self.origin if from_time is None else from_time
+        out = [(t0, self.available_at(t0))]
+        for t in sorted(t for t in self.deltas if t > t0):
+            a = self.available_at(t)
+            if a != out[-1][1]:
+                out.append((t, a))
+        return out
+
+
+@pytest.mark.parametrize("seed, n_ops", [(0, 10_000), (1, 2_000)])
+def test_randomized_differential_profile(seed, n_ops):
+    """10k mixed fit/reserve/release/advance/query ops, optimized vs naive.
+
+    The reference is deliberately quadratic, so only the first seed runs
+    the full 10k ops; the second covers a different machine size cheaply.
+    """
+    rng = np.random.default_rng(seed)
+    size = int(rng.integers(8, 200))
+    opt = ReservationProfile(size)
+    ref = ReferenceProfile(size)
+    now = 0.0
+    active = []  # (start, end, nodes) rectangles currently reserved
+
+    for op_i in range(n_ops):
+        op = rng.random()
+        if op < 0.45:
+            # fit + reserve
+            nodes = int(rng.integers(1, size + 1))
+            duration = float(np.round(rng.uniform(1, 500), 3))
+            earliest = now + float(np.round(rng.uniform(0, 300), 3))
+            got = opt.earliest_fit(nodes, duration, earliest)
+            want = ref.earliest_fit(nodes, duration, earliest)
+            assert got == want, f"op {op_i}: earliest_fit {got} != {want}"
+            opt.reserve(got, got + duration, nodes)
+            ref.reserve(got, got + duration, nodes)
+            active.append((got, got + duration, nodes))
+        elif op < 0.70 and active:
+            # release one active rectangle, clipped to the present the way
+            # the compression pass does
+            s, e, n = active.pop(int(rng.integers(len(active))))
+            s = max(s, now)
+            if e > s:
+                opt.release(s, e, n)
+                ref.release(s, e, n)
+        elif op < 0.80:
+            now += float(np.round(rng.uniform(0, 400), 3))
+            opt.advance(now)
+            ref.advance(now)
+            # drop fully-elapsed rectangles; their effect is history
+            active = [(s, e, n) for s, e, n in active if e > now]
+        elif op < 0.90:
+            t = now + float(rng.uniform(0, 2000))
+            assert opt.available_at(t) == ref.available_at(t), f"op {op_i}"
+        else:
+            a = now + float(rng.uniform(0, 1000))
+            b = a + float(rng.uniform(1, 1000))
+            assert opt.min_available(a, b) == ref.min_available(a, b), f"op {op_i}"
+
+        if op_i % 500 == 0:
+            opt.check_invariants()
+            # mutation keeps the profile canonically coalesced: its
+            # representation must equal the reference's canonical segments
+            assert list(zip(opt.times, opt.avail)) == ref.segments(opt.times[0]), f"op {op_i}"
+
+    opt.check_invariants()
+    assert list(zip(opt.times, opt.avail)) == ref.segments(opt.times[0])
+
+
+def test_trusted_fast_paths_match_validated_api():
+    """reserve_fitted/release_reserved must leave the same structure as
+    reserve/release when their contract holds."""
+    rng = np.random.default_rng(7)
+    a = ReservationProfile(64)
+    b = ReservationProfile(64)
+    placed = []
+    for _ in range(300):
+        nodes = int(rng.integers(1, 65))
+        duration = float(rng.uniform(1, 100))
+        earliest = float(rng.uniform(0, 50))
+        s1 = a.earliest_fit(nodes, duration, earliest)
+        s2 = b.earliest_fit(nodes, duration, earliest)
+        assert s1 == s2
+        a.reserve(s1, s1 + duration, nodes)
+        b.reserve_fitted(s2, s2 + duration, nodes)
+        placed.append((s1, s1 + duration, nodes))
+        if len(placed) > 5 and rng.random() < 0.4:
+            s, e, n = placed.pop(int(rng.integers(len(placed))))
+            a.release(s, e, n)
+            b.release_reserved(s, e, n)
+        assert a.times == b.times and a.avail == b.avail
+
+
+def test_from_occupations_matches_incremental_reserves():
+    rng = np.random.default_rng(3)
+    for _ in range(50):
+        size = int(rng.integers(4, 128))
+        now = float(rng.uniform(0, 1000))
+        k = int(rng.integers(0, 12))
+        widths = []
+        remaining = size
+        for _ in range(k):
+            if remaining == 0:
+                break
+            w = int(rng.integers(1, remaining + 1))
+            widths.append(w)
+            remaining -= w
+        occs = [(w, now + float(rng.uniform(1, 500))) for w in widths]
+        batch = ReservationProfile.from_occupations(size, now, occs)
+        incr = ReservationProfile(size, now)
+        for w, end in occs:
+            incr.reserve(now, end, w)
+        assert batch.times == incr.times
+        assert batch.avail == incr.avail
+        batch.check_invariants()
+
+
+def test_from_occupations_rejects_oversubscription():
+    with pytest.raises(ProfileError, match="over-subscribe"):
+        ReservationProfile.from_occupations(4, 0.0, [(3, 10.0), (2, 10.0)])
+
+
+def test_advance_merges_redundant_head():
+    """Satellite fix: advancing into history must not leave a breakpoint
+    between a head segment and an equal successor."""
+    p = ReservationProfile(10)
+    # hand-build an uncoalesced profile (the API can no longer produce one)
+    p.times = [0.0, 50.0, 100.0]
+    p.avail = [4, 10, 10]
+    p.advance(60.0)
+    assert p.times == [60.0]
+    assert p.avail == [10]
+    p.check_invariants()
+
+
+class TestFreeTimelineDifferential:
+    """FreeTimeline (compact multiset) vs ListScheduler (per-node vector)."""
+
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_random_places_match(self, seed):
+        rng = np.random.default_rng(seed)
+        size = int(rng.integers(2, 300))
+        ls = ListScheduler(size)
+        tl = FreeTimeline(size)
+        now = 0.0
+        for i in range(2_000):
+            nodes = int(rng.integers(1, size + 1))
+            duration = float(np.round(rng.uniform(0, 300), 3))
+            now += float(np.round(rng.uniform(0, 30), 3))
+            s1 = ls.place(nodes, duration, earliest=now)
+            s2 = tl.place(nodes, duration, earliest=now)
+            assert s1 == s2, f"op {i}: start {s2} != {s1}"
+            assert sorted(ls.free_times.tolist()) == tl.free_time_values(), f"op {i}"
+        assert ls.makespan() == tl.makespan()
+
+    def test_from_pairs_matches_from_running(self):
+        rng = np.random.default_rng(11)
+        for _ in range(100):
+            size = int(rng.integers(2, 200))
+            now = float(rng.uniform(0, 100))
+            pairs = []
+            remaining = size
+            while remaining and rng.random() < 0.8:
+                w = int(rng.integers(1, remaining + 1))
+                # ends may precede now (running past the estimate): clamped
+                pairs.append((w, now + float(rng.uniform(-50, 400))))
+                remaining -= w
+            ls = ListScheduler.from_running(size, now, pairs)
+            tl = FreeTimeline.from_pairs(size, now, pairs)
+            assert sorted(ls.free_times.tolist()) == tl.free_time_values()
+
+    def test_from_pairs_rejects_oversubscription(self):
+        with pytest.raises(ValueError, match="over-subscribe"):
+            FreeTimeline.from_pairs(4, 0.0, [(3, 10.0), (2, 10.0)])
+
+    def test_copy_is_independent(self):
+        tl = FreeTimeline(4)
+        clone = tl.copy()
+        clone.place(4, 100.0)
+        assert tl.free_time_values() == [0.0] * 4
+        assert clone.free_time_values() == [100.0] * 4
+
+    def test_invalid_requests(self):
+        tl = FreeTimeline(4)
+        with pytest.raises(ValueError):
+            tl.place(0, 10.0)
+        with pytest.raises(ValueError):
+            tl.place(5, 10.0)
+        with pytest.raises(ValueError):
+            tl.place(2, -1.0)

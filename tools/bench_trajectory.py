@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Performance-trajectory harness: track simulator throughput across PRs.
+
+Each perf-relevant PR commits a ``BENCH_<pr>.json`` report at the repo
+root (written by ``benchmarks/bench_fulltrace.py --out BENCH_<pr>.json``)
+with a ``baseline`` section (numbers measured on the pre-PR tree) and a
+``post`` section (same machine, same workload, after the change).  This
+tool reads every such report and renders the trajectory, so "is the
+simulator actually getting faster?" has a one-command answer:
+
+    python tools/bench_trajectory.py            # table across all BENCH_*.json
+    python tools/bench_trajectory.py --check    # CI mode: exit 1 on regression
+
+``--check`` fails when a report's post numbers are slower than its own
+baseline (beyond ``--tolerance``), or when a report claims a speedup but
+its digests do not match (a "speedup" that changes simulation results is
+a behavior change, not an optimization).
+
+Absolute seconds are machine-dependent; only within-report ratios are
+meaningful, which is why every report carries its own baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+_BENCH_NAME = re.compile(r"BENCH_(\d+)\.json$")
+
+
+def load_reports(root: Path):
+    """[(pr_number, path, report), ...] sorted by PR number."""
+    out = []
+    for path in root.glob("BENCH_*.json"):
+        m = _BENCH_NAME.search(path.name)
+        if not m:
+            continue
+        try:
+            out.append((int(m.group(1)), path, json.loads(path.read_text())))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"[trajectory] unreadable {path.name}: {exc}", file=sys.stderr)
+    return sorted(out, key=lambda t: t[0])
+
+
+def policy_rows(report: dict):
+    """{policy: (baseline_s, post_s, speedup, digests_match)} for a report."""
+    base = report.get("baseline", {}).get("policies", {})
+    post = report.get("post", {}).get("policies", {})
+    rows = {}
+    for policy in sorted(set(base) | set(post)):
+        b = base.get(policy, {}).get("seconds")
+        p = post.get(policy, {}).get("seconds")
+        speedup = (b / p) if (b and p) else None
+        match = report.get("digests_match", {}).get(policy)
+        rows[policy] = (b, p, speedup, match)
+    return rows
+
+
+def render(reports) -> str:
+    lines = []
+    for pr, path, report in reports:
+        meta = report.get("post") or report.get("baseline") or {}
+        lines.append(
+            f"== {path.name} (PR {pr}, scale={meta.get('scale', '?')}, "
+            f"{meta.get('n_jobs', '?')} jobs) =="
+        )
+        lines.append(f"{'policy':24s} {'baseline':>10s} {'post':>10s} "
+                     f"{'speedup':>8s}  digest")
+        for policy, (b, p, s, match) in policy_rows(report).items():
+            fmt = lambda v, suffix="s": f"{v:.2f}{suffix}" if v is not None else "-"
+            digest = {True: "ok", False: "MISMATCH", None: "-"}[match]
+            lines.append(
+                f"{policy:24s} {fmt(b):>10s} {fmt(p):>10s} "
+                f"{fmt(s, 'x'):>8s}  {digest}"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def check(reports, tolerance: float) -> list:
+    problems = []
+    for pr, path, report in reports:
+        for policy, (b, p, s, match) in policy_rows(report).items():
+            if s is not None and s < 1.0 - tolerance:
+                problems.append(
+                    f"{path.name}: {policy} regressed x{s:.2f} vs its baseline"
+                )
+            if match is False:
+                problems.append(
+                    f"{path.name}: {policy} digests differ between baseline "
+                    "and post — results changed, not just speed"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", type=Path, default=ROOT,
+                    help="directory holding BENCH_*.json reports")
+    ap.add_argument("--check", action="store_true",
+                    help="exit 1 if any report regresses vs its own baseline")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed fractional slowdown before --check fails")
+    args = ap.parse_args(argv)
+
+    reports = load_reports(args.root)
+    if not reports:
+        print(f"[trajectory] no BENCH_*.json reports under {args.root}")
+        return 0 if not args.check else 1
+    print(render(reports))
+    if args.check:
+        problems = check(reports, args.tolerance)
+        for p in problems:
+            print(f"[trajectory] {p}", file=sys.stderr)
+        if problems:
+            return 1
+        print("[trajectory] all reports at or above their baselines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

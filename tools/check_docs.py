@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Docs-consistency checks (run by the CI `docs` job and usable locally).
 
-Two checks:
+Three checks:
 
 1. **Scenario catalog** — every scenario registered in
    ``repro.scenarios`` must appear (as `` `name` ``) in
@@ -9,6 +9,10 @@ Two checks:
    code (the tier-1 suite asserts the same in tests/test_scenarios.py).
 2. **Link integrity** — every relative markdown link in README.md,
    PAPER.md, and docs/*.md must point at a file that exists.
+3. **Performance docs** — docs/PERFORMANCE.md must exist, name the
+   benchmark/trajectory entry points it documents (they must exist on
+   disk), and docs/ARCHITECTURE.md must carry a Performance section, so
+   the perf-trajectory workflow stays discoverable.
 
 Exit status 0 = consistent; 1 = problems (all listed on stderr).
 
@@ -64,8 +68,37 @@ def check_links() -> list[str]:
     return problems
 
 
+def check_performance_docs() -> list[str]:
+    problems: list[str] = []
+    perf = ROOT / "docs" / "PERFORMANCE.md"
+    if not perf.is_file():
+        return ["missing docs/PERFORMANCE.md"]
+    text = perf.read_text()
+    for entry_point in (
+        "benchmarks/bench_fulltrace.py",
+        "benchmarks/bench_core.py",
+        "tools/bench_trajectory.py",
+    ):
+        name = entry_point.rsplit("/", 1)[1]
+        if name not in text:
+            problems.append(
+                f"docs/PERFORMANCE.md: does not mention `{name}`"
+            )
+        if not (ROOT / entry_point).is_file():
+            problems.append(
+                f"docs/PERFORMANCE.md: documented {entry_point} is missing"
+            )
+    arch = ROOT / "docs" / "ARCHITECTURE.md"
+    if not arch.is_file() or "## Performance" not in arch.read_text():
+        problems.append(
+            "docs/ARCHITECTURE.md: missing a '## Performance' section"
+        )
+    return problems
+
+
 def main() -> int:
-    problems = check_scenario_catalog() + check_links()
+    problems = (check_scenario_catalog() + check_links()
+                + check_performance_docs())
     for p in problems:
         print(f"[check-docs] {p}", file=sys.stderr)
     if problems:
