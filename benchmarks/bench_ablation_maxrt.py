@@ -11,7 +11,6 @@ import pytest
 from repro.core.cluster import Cluster
 from repro.core.engine import Engine, KillPolicy
 from repro.experiments.config import BenchConfig
-from repro.experiments.runner import PolicyRun, run_policy
 from repro.metrics.fairness import fairness_stats
 from repro.sched.noguarantee import NoGuaranteeScheduler
 from repro.workload.generator import GeneratorConfig, generate_cplant_workload
@@ -55,7 +54,7 @@ def sweep(trace):
 
 
 def test_ablation_max_runtime(benchmark, sweep, emit):
-    data = benchmark(lambda: {h: s[0].average_miss_time for h, s in sweep.items()})
+    benchmark(lambda: {h: s[0].average_miss_time for h, s in sweep.items()})
     lines = ["Ablation: maximum-runtime threshold (baseline scheduler)",
              "limit_h  %unfair  avg_miss   LOC%   scheduler_jobs"]
     for h, (st, loc, njobs) in sweep.items():

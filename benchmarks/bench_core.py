@@ -3,7 +3,6 @@
 FST evaluation)."""
 
 import numpy as np
-import pytest
 
 from repro.core.listsched import ListScheduler
 from repro.core.profile import ReservationProfile

@@ -1,14 +1,14 @@
-"""Figure 3: weekly offered load vs actual utilization."""
+"""Figure 3: weekly offered load vs actual utilization.
 
-from repro.experiments.figures import fig03_weekly_load, render_fig03
+Thin shim: the data projection, renderer, and the paper's qualitative
+shape check are registered in ``repro.artifacts.registry`` ("fig03");
+``repro paper build --only fig03`` builds the same artifact through the
+content-addressed cell cache.
+"""
 
+from repro.artifacts.shim import bench_shim, main_shim
 
-def test_fig03_weekly_load(benchmark, suite, workload, emit, shape):
-    series = benchmark(fig03_weekly_load, suite["cplant24.nomax.all"], workload)
-    emit("fig03_weekly_load", render_fig03(series))
-    assert (series.utilization <= 1.0 + 1e-9).all()
-    if shape:
-        # the paper's signature load shape: overload weeks exist and
-        # high-load weeks push utilization up hard
-        assert series.offered_load.max() > 1.0
-        assert series.utilization.max() > 0.8
+test_fig03_weekly_load = bench_shim("fig03")
+
+if __name__ == "__main__":
+    raise SystemExit(main_shim("fig03"))

@@ -1,14 +1,14 @@
-"""Figure 4: the runtime x nodes scatter of the submitted jobs."""
+"""Figure 4: the runtime x nodes scatter of the submitted jobs.
 
-import numpy as np
+Thin shim: the data projection, renderer, and the paper's qualitative
+shape check are registered in ``repro.artifacts.registry`` ("fig04");
+``repro paper build --only fig04`` builds the same artifact through the
+content-addressed cell cache.
+"""
 
-from repro.experiments.figures import fig04_runtime_vs_nodes, render_fig04
+from repro.artifacts.shim import bench_shim, main_shim
 
+test_fig04_runtime_vs_nodes = bench_shim("fig04")
 
-def test_fig04_runtime_vs_nodes(benchmark, workload, emit):
-    data = benchmark(fig04_runtime_vs_nodes, workload)
-    emit("fig04_runtime_nodes", render_fig04(data))
-    # "standard" node allocations: powers of two dominate (Section 2.2)
-    nodes = data["nodes"].astype(int)
-    pow2 = np.mean((nodes & (nodes - 1)) == 0)
-    assert pow2 > 0.4
+if __name__ == "__main__":
+    raise SystemExit(main_shim("fig04"))

@@ -1,19 +1,14 @@
 """Figure 8: percent of jobs missing their fair start time (minor changes).
 
-Paper shape: every enhanced policy reduces the percentage below the
-baseline; the three-modification combination reduces it the most.
+Thin shim: the data projection, renderer, and the paper's qualitative
+shape check are registered in ``repro.artifacts.registry`` ("fig08");
+``repro paper build --only fig08`` builds the same artifact through the
+content-addressed cell cache.
 """
 
-from repro.experiments.figures import fig08_percent_unfair_minor, render_fig08
+from repro.artifacts.shim import bench_shim, main_shim
 
+test_fig08_percent_unfair_minor = bench_shim("fig08")
 
-def test_fig08_percent_unfair_minor(benchmark, suite, emit, shape):
-    data = benchmark(fig08_percent_unfair_minor, suite)
-    emit("fig08_percent_unfair_minor", render_fig08(data))
-    assert all(0.0 <= v <= 1.0 for v in data.values())
-    if shape:
-        base = data["cplant24.nomax.all"]
-        assert data["cplant72.nomax.all"] < base
-        assert data["cplant24.nomax.fair"] < base
-        # the combination is among the best of the minor-change family
-        assert data["cplant72.72max.fair"] < base
+if __name__ == "__main__":
+    raise SystemExit(main_shim("fig08"))

@@ -1,18 +1,14 @@
 """Figure 9: average fair-start miss time, minor-change policies.
 
-Paper shape: introducing the 72 h maximum runtime lowers the average miss
-time; restricting the starvation queue alone does not beat the runtime
-limit.
+Thin shim: the data projection, renderer, and the paper's qualitative
+shape check are registered in ``repro.artifacts.registry`` ("fig09");
+``repro paper build --only fig09`` builds the same artifact through the
+content-addressed cell cache.
 """
 
-from repro.experiments.figures import fig09_miss_time_minor, render_fig09
+from repro.artifacts.shim import bench_shim, main_shim
 
+test_fig09_miss_time_minor = bench_shim("fig09")
 
-def test_fig09_miss_time_minor(benchmark, suite, emit, shape):
-    data = benchmark(fig09_miss_time_minor, suite)
-    emit("fig09_miss_time_minor", render_fig09(data))
-    assert all(v >= 0.0 for v in data.values())
-    if shape:
-        base = data["cplant24.nomax.all"]
-        assert data["cplant24.72max.all"] < base * 1.1
-        assert data["cplant72.72max.fair"] < base
+if __name__ == "__main__":
+    raise SystemExit(main_shim("fig09"))

@@ -1,20 +1,14 @@
 """Figure 10: average miss time by job width, minor-change policies.
 
-Paper shape: unfairness concentrates in the wide categories — wide jobs
-rely on the starvation queue and miss hardest.
+Thin shim: the data projection, renderer, and the paper's qualitative
+shape check are registered in ``repro.artifacts.registry`` ("fig10");
+``repro paper build --only fig10`` builds the same artifact through the
+content-addressed cell cache.
 """
 
-import numpy as np
+from repro.artifacts.shim import bench_shim, main_shim
 
-from repro.experiments.figures import fig10_miss_by_width_minor, render_fig10
+test_fig10_miss_by_width_minor = bench_shim("fig10")
 
-
-def test_fig10_miss_by_width_minor(benchmark, suite, emit, shape):
-    data = benchmark(fig10_miss_by_width_minor, suite)
-    emit("fig10_miss_by_width_minor", render_fig10(data))
-    if shape:
-        base = data["cplant24.nomax.all"]
-        # wide half of the categories misses more than the narrow half
-        narrow = np.nanmean(base[:5])
-        wide = np.nanmean(base[5:])
-        assert wide > narrow
+if __name__ == "__main__":
+    raise SystemExit(main_shim("fig10"))

@@ -1,17 +1,14 @@
 """Figure 11: average turnaround time, minor-change policies.
 
-Paper shape: the enhancements do not hurt average turnaround; most improve
-it, with the runtime limit's coarse preemption the strongest lever.
+Thin shim: the data projection, renderer, and the paper's qualitative
+shape check are registered in ``repro.artifacts.registry`` ("fig11");
+``repro paper build --only fig11`` builds the same artifact through the
+content-addressed cell cache.
 """
 
-from repro.experiments.figures import fig11_turnaround_minor, render_fig11
+from repro.artifacts.shim import bench_shim, main_shim
 
+test_fig11_turnaround_minor = bench_shim("fig11")
 
-def test_fig11_turnaround_minor(benchmark, suite, emit, shape):
-    data = benchmark(fig11_turnaround_minor, suite)
-    emit("fig11_tat_minor", render_fig11(data))
-    assert all(v > 0.0 for v in data.values())
-    if shape:
-        base = data["cplant24.nomax.all"]
-        assert data["cplant24.72max.all"] <= base * 1.05
-        assert data["cplant72.72max.fair"] < base
+if __name__ == "__main__":
+    raise SystemExit(main_shim("fig11"))

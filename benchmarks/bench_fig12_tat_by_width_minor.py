@@ -1,20 +1,14 @@
 """Figure 12: average turnaround time by width, minor-change policies.
 
-Paper shape: wide jobs carry far larger turnaround times than narrow
-ones under the baseline; the runtime limit improves wide-job progress.
+Thin shim: the data projection, renderer, and the paper's qualitative
+shape check are registered in ``repro.artifacts.registry`` ("fig12");
+``repro paper build --only fig12`` builds the same artifact through the
+content-addressed cell cache.
 """
 
-import numpy as np
+from repro.artifacts.shim import bench_shim, main_shim
 
-from repro.experiments.figures import (
-    fig12_turnaround_by_width_minor,
-    render_fig12,
-)
+test_fig12_turnaround_by_width_minor = bench_shim("fig12")
 
-
-def test_fig12_turnaround_by_width_minor(benchmark, suite, emit, shape):
-    data = benchmark(fig12_turnaround_by_width_minor, suite)
-    emit("fig12_tat_by_width_minor", render_fig12(data))
-    if shape:
-        base = data["cplant24.nomax.all"]
-        assert np.nanmean(base[7:]) > np.nanmean(base[:4])
+if __name__ == "__main__":
+    raise SystemExit(main_shim("fig12"))

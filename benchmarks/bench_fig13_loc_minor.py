@@ -1,17 +1,14 @@
 """Figure 13: loss of capacity, minor-change policies.
 
-Paper shape: the 72 h runtime limit improves (lowers) the loss of
-capacity relative to the baseline.
+Thin shim: the data projection, renderer, and the paper's qualitative
+shape check are registered in ``repro.artifacts.registry`` ("fig13");
+``repro paper build --only fig13`` builds the same artifact through the
+content-addressed cell cache.
 """
 
-from repro.experiments.figures import fig13_loc_minor, render_fig13
+from repro.artifacts.shim import bench_shim, main_shim
 
+test_fig13_loc_minor = bench_shim("fig13")
 
-def test_fig13_loc_minor(benchmark, suite, emit, shape):
-    data = benchmark(fig13_loc_minor, suite)
-    emit("fig13_loc_minor", render_fig13(data))
-    for v in data.values():
-        assert 0.0 <= v < 0.5
-    if shape:
-        base = data["cplant24.nomax.all"]
-        assert data["cplant24.72max.all"] < base * 1.05
+if __name__ == "__main__":
+    raise SystemExit(main_shim("fig13"))

@@ -1,20 +1,14 @@
 """Figure 14: percent of unfair jobs, all nine policies.
 
-Paper shape: conservative-with-dynamic-reservations has the fewest unfair
-jobs of all policies.
+Thin shim: the data projection, renderer, and the paper's qualitative
+shape check are registered in ``repro.artifacts.registry`` ("fig14");
+``repro paper build --only fig14`` builds the same artifact through the
+content-addressed cell cache.
 """
 
-from repro.experiments.figures import fig14_percent_unfair_all, render_fig14
+from repro.artifacts.shim import bench_shim, main_shim
 
+test_fig14_percent_unfair_all = bench_shim("fig14")
 
-def test_fig14_percent_unfair_all(benchmark, suite, emit, shape):
-    data = benchmark(fig14_percent_unfair_all, suite)
-    emit("fig14_percent_unfair_all", render_fig14(data))
-    if shape:
-        # dynamic reservations track the fairshare ideal closely: fewer
-        # unfair jobs than the baseline and the plain conservative scheme
-        # (at full scale they are the global minimum, as in the paper)
-        dyn = min(data["consdyn.nomax"], data["consdyn.72max"])
-        assert dyn < data["cplant24.nomax.all"]
-        assert dyn < data["cons.nomax"]
-        assert dyn < data["cons.72max"]
+if __name__ == "__main__":
+    raise SystemExit(main_shim("fig14"))

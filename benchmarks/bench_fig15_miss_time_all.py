@@ -1,20 +1,14 @@
 """Figure 15: average miss time, all nine policies.
 
-Paper shape: conservative policies *without* runtime limits pay for their
-fewer unfair jobs with larger average miss times (consdyn.nomax is the
-outlier bar in the paper); adding the 72 h limit repairs this.
+Thin shim: the data projection, renderer, and the paper's qualitative
+shape check are registered in ``repro.artifacts.registry`` ("fig15");
+``repro paper build --only fig15`` builds the same artifact through the
+content-addressed cell cache.
 """
 
-from repro.experiments.figures import fig15_miss_time_all, render_fig15
+from repro.artifacts.shim import bench_shim, main_shim
 
+test_fig15_miss_time_all = bench_shim("fig15")
 
-def test_fig15_miss_time_all(benchmark, suite, emit, shape):
-    data = benchmark(fig15_miss_time_all, suite)
-    emit("fig15_miss_time_all", render_fig15(data))
-    assert all(v >= 0.0 for v in data.values())
-    if shape:
-        # runtime limits lower the conservative-family miss times
-        assert data["cons.72max"] < data["cons.nomax"] * 1.2
-        assert data["consdyn.72max"] < data["consdyn.nomax"] * 1.1
-        # the dynamic no-limit policy misses hard when it misses
-        assert data["consdyn.nomax"] > data["cplant72.72max.fair"]
+if __name__ == "__main__":
+    raise SystemExit(main_shim("fig15"))

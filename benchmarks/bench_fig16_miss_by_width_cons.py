@@ -1,19 +1,14 @@
 """Figure 16: average miss time by width, conservative comparison set.
 
-Paper shape: conservative backfilling reduces the unfairness of wide jobs
-relative to the baseline — "important as the supercomputers are purchased
-to efficiently run parallel code".
+Thin shim: the data projection, renderer, and the paper's qualitative
+shape check are registered in ``repro.artifacts.registry`` ("fig16");
+``repro paper build --only fig16`` builds the same artifact through the
+content-addressed cell cache.
 """
 
-import numpy as np
+from repro.artifacts.shim import bench_shim, main_shim
 
-from repro.experiments.figures import fig16_miss_by_width_cons, render_fig16
+test_fig16_miss_by_width_cons = bench_shim("fig16")
 
-
-def test_fig16_miss_by_width_cons(benchmark, suite, emit, shape):
-    data = benchmark(fig16_miss_by_width_cons, suite)
-    emit("fig16_miss_by_width_cons", render_fig16(data))
-    if shape:
-        base_wide = np.nansum(data["cplant24.nomax.all"][6:])
-        cons_wide = np.nansum(data["cons.72max"][6:])
-        assert cons_wide < base_wide * 1.5
+if __name__ == "__main__":
+    raise SystemExit(main_shim("fig16"))

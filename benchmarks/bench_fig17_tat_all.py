@@ -1,19 +1,14 @@
 """Figure 17: average turnaround time, all nine policies.
 
-Paper shape: plain conservative scheduling often costs turnaround time;
-the 72 h limit's coarse preemption repairs it (cons.72max competitive).
+Thin shim: the data projection, renderer, and the paper's qualitative
+shape check are registered in ``repro.artifacts.registry`` ("fig17");
+``repro paper build --only fig17`` builds the same artifact through the
+content-addressed cell cache.
 """
 
-from repro.experiments.figures import fig17_turnaround_all, render_fig17
+from repro.artifacts.shim import bench_shim, main_shim
 
+test_fig17_turnaround_all = bench_shim("fig17")
 
-def test_fig17_turnaround_all(benchmark, suite, emit, shape):
-    data = benchmark(fig17_turnaround_all, suite)
-    emit("fig17_tat_all", render_fig17(data))
-    assert all(v > 0.0 for v in data.values())
-    if shape:
-        base = data["cplant24.nomax.all"]
-        # the all-modifications baseline variant and the limited
-        # conservative schemes sit at or below the original scheduler
-        assert data["cplant72.72max.fair"] < base
-        assert data["consdyn.72max"] < base * 1.25
+if __name__ == "__main__":
+    raise SystemExit(main_shim("fig17"))

@@ -1,24 +1,14 @@
 """Figure 18: turnaround time by width, conservative comparison set.
 
-Paper shape: wide jobs fare better under conservative reservations than
-under the reservation-free baseline.
+Thin shim: the data projection, renderer, and the paper's qualitative
+shape check are registered in ``repro.artifacts.registry`` ("fig18");
+``repro paper build --only fig18`` builds the same artifact through the
+content-addressed cell cache.
 """
 
-import numpy as np
+from repro.artifacts.shim import bench_shim, main_shim
 
-from repro.experiments.figures import (
-    fig18_turnaround_by_width_cons,
-    render_fig18,
-)
+test_fig18_turnaround_by_width_cons = bench_shim("fig18")
 
-
-def test_fig18_turnaround_by_width_cons(benchmark, suite, emit, shape):
-    data = benchmark(fig18_turnaround_by_width_cons, suite)
-    emit("fig18_tat_by_width_cons", render_fig18(data))
-    for series in data.values():
-        assert series.shape == (11,)
-        assert np.nanmax(series) >= 0
-    if shape:
-        base_wide = np.nansum(data["cplant24.nomax.all"][6:])
-        cons_wide = np.nansum(data["cons.72max"][6:])
-        assert cons_wide < base_wide * 1.5
+if __name__ == "__main__":
+    raise SystemExit(main_shim("fig18"))

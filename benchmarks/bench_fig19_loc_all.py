@@ -1,18 +1,14 @@
 """Figure 19: loss of capacity, all nine policies.
 
-Paper shape: the conservative scheme with 72 h limits packs best (lowest
-LOC of the conservative family); dynamic reservations without limits pay
-the largest LOC.
+Thin shim: the data projection, renderer, and the paper's qualitative
+shape check are registered in ``repro.artifacts.registry`` ("fig19");
+``repro paper build --only fig19`` builds the same artifact through the
+content-addressed cell cache.
 """
 
-from repro.experiments.figures import fig19_loc_all, render_fig19
+from repro.artifacts.shim import bench_shim, main_shim
 
+test_fig19_loc_all = bench_shim("fig19")
 
-def test_fig19_loc_all(benchmark, suite, emit, shape):
-    data = benchmark(fig19_loc_all, suite)
-    emit("fig19_loc_all", render_fig19(data))
-    assert all(0.0 <= v < 1.0 for v in data.values())
-    if shape:
-        assert data["cons.72max"] < data["cons.nomax"]
-        assert data["consdyn.72max"] < data["consdyn.nomax"]
-        assert data["cons.72max"] < data["consdyn.nomax"]
+if __name__ == "__main__":
+    raise SystemExit(main_shim("fig19"))

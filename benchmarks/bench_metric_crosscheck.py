@@ -44,7 +44,7 @@ def verdicts(schedule):
 
 
 def test_metric_crosscheck(benchmark, verdicts, emit):
-    data = benchmark(lambda: {k: v.percent_unfair for k, v in verdicts.items()})
+    benchmark(lambda: {k: v.percent_unfair for k, v in verdicts.items()})
     lines = ["Cross-metric comparison (baseline policy, 260-job high-load trace)",
              f"{'metric':<10}{'%unfair':>9}{'avg miss':>11}"]
     for name, st in verdicts.items():

@@ -17,16 +17,12 @@ from pathlib import Path
 
 import pytest
 
+from repro.artifacts import SHAPE_MIN_JOBS
 from repro.experiments.config import BenchConfig, bench_workload
 from repro.experiments.runner import run_suite
 from repro.sched.registry import PAPER_POLICIES
 
 REPORTS = Path(__file__).parent / "reports"
-
-
-#: below this many jobs the policy-shape assertions are statistical noise
-#: (a couple of spike weeks drive everything); figures still print.
-SHAPE_MIN_JOBS = 1500
 
 
 @pytest.fixture(scope="session")

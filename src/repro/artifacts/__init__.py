@@ -1,0 +1,70 @@
+"""Declarative paper-artifact pipeline.
+
+Each figure/table of the paper is a registered
+:class:`~repro.artifacts.spec.Artifact`; the builder resolves a
+selection into the deduplicated set of simulation cells it needs,
+executes them through the campaign subsystem's content-addressed cache,
+renders outputs in parallel, and writes a deterministic
+``manifest.json`` of input/output digests.  See ``docs/PIPELINE.md``.
+"""
+
+from .build import (
+    DEFAULT_SCALE,
+    DEFAULT_SEED,
+    MANIFEST_NAME,
+    MANIFEST_SCHEMA,
+    ArtifactOutput,
+    BuildPlan,
+    BuildResult,
+    PaperConfig,
+    build_artifacts,
+    diff_manifests,
+    load_manifest,
+    manifest_doc,
+    plan_build,
+    verify_outputs,
+)
+from .registry import (
+    BASELINE,
+    all_artifacts,
+    artifact_ids,
+    get_artifact,
+    register,
+    select_artifacts,
+)
+from .shim import bench_shim, main_shim
+from .spec import (
+    SHAPE_MIN_JOBS,
+    Artifact,
+    ArtifactInputs,
+    RecordRun,
+)
+
+__all__ = [
+    "Artifact",
+    "ArtifactInputs",
+    "ArtifactOutput",
+    "BASELINE",
+    "BuildPlan",
+    "BuildResult",
+    "DEFAULT_SCALE",
+    "DEFAULT_SEED",
+    "MANIFEST_NAME",
+    "MANIFEST_SCHEMA",
+    "PaperConfig",
+    "RecordRun",
+    "SHAPE_MIN_JOBS",
+    "all_artifacts",
+    "artifact_ids",
+    "bench_shim",
+    "build_artifacts",
+    "diff_manifests",
+    "get_artifact",
+    "load_manifest",
+    "main_shim",
+    "manifest_doc",
+    "plan_build",
+    "register",
+    "select_artifacts",
+    "verify_outputs",
+]

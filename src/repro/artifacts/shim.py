@@ -1,0 +1,128 @@
+"""Shims that keep ``benchmarks/bench_fig*.py`` thin but alive.
+
+Every per-figure benchmark script reduces to two lines against this
+module::
+
+    test_fig08_percent_unfair_minor = bench_shim("fig08")
+
+    if __name__ == "__main__":
+        raise SystemExit(main_shim("fig08"))
+
+``bench_shim`` builds the pytest-benchmark test function from the
+artifact's registration (data projection, renderer, and shape check all
+live in :mod:`repro.artifacts.registry`), reusing the session-scoped
+``workload``/``suite`` fixtures from ``benchmarks/conftest.py`` —
+lazily, so a table-only run never simulates the nine-policy suite.
+
+``main_shim`` keeps ``python benchmarks/bench_fig08_....py`` working as
+a standalone entry point: it builds exactly that artifact through the
+campaign cache (``repro paper build --only ...`` in miniature), prints
+the rendering, and honors the historical ``REPRO_BENCH_SCALE`` /
+``REPRO_BENCH_FULL`` / ``REPRO_BENCH_SEED`` environment knobs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, List, Optional
+
+from ..campaign.cache import CampaignCache
+from ..experiments.config import BenchConfig
+from .build import PaperConfig, build_artifacts
+from .registry import get_artifact
+from .spec import ArtifactInputs
+
+
+def bench_shim(artifact_id: str) -> Callable:
+    """A pytest-benchmark test for one registered artifact."""
+    art = get_artifact(artifact_id)
+
+    def test(benchmark, request, emit, shape):
+        needs = art.needs_workload
+        workload = request.getfixturevalue("workload") if needs else None
+        suite = request.getfixturevalue("suite") if art.policies else {}
+        inputs = ArtifactInputs(suite=suite, workload=workload)
+        data = benchmark(art.data, inputs)
+        emit(art.stem, art.render(data))
+        if art.check is not None:
+            art.check(data, shape)
+
+    test.__name__ = f"test_{art.stem}"
+    test.__doc__ = f"{art.id}: {art.title}"
+    return test
+
+
+def _default_out_dir() -> Path:
+    """The invoked script's ``reports`` sibling (matching where the
+    pytest path archives renderings, regardless of the caller's CWD),
+    else a local build directory."""
+    script = Path(sys.argv[0])
+    if script.is_file() and script.name.startswith("bench_"):
+        return script.resolve().parent / "reports"
+    return Path("paper-artifacts")
+
+
+def main_shim(artifact_id: str, argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point for one benchmark script."""
+    art = get_artifact(artifact_id)
+    env = BenchConfig.from_env()
+    parser = argparse.ArgumentParser(
+        description=f"build paper artifact {art.id}: {art.title}"
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=env.scale,
+        help="synthetic trace scale (default from REPRO_BENCH_SCALE/FULL)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=env.seed,
+        help="generator seed (default from REPRO_BENCH_SEED)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="simulation worker processes"
+    )
+    parser.add_argument(
+        "--out-dir",
+        default=None,
+        help="output directory (default benchmarks/reports)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="campaign cache root (default ~/.cache/repro-campaign)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the on-disk cell cache",
+    )
+    parser.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip the artifact's qualitative shape checks",
+    )
+    args = parser.parse_args(argv)
+
+    out_dir = Path(args.out_dir) if args.out_dir else _default_out_dir()
+    cache = None if args.no_cache else CampaignCache(args.cache_dir)
+    result = build_artifacts(
+        only=[art.id],
+        config=PaperConfig(scale=args.scale, seed=args.seed),
+        out_dir=out_dir,
+        jobs=args.jobs,
+        cache=cache,
+        check=not args.no_check,
+    )
+    print(result.texts[art.id])
+    rendered = result.outputs[0]
+    print(
+        f"\n[{art.id}] wrote {rendered.path} "
+        f"({result.n_simulated} simulated, {result.n_cached} cached, "
+        f"{result.elapsed:.2f}s)"
+    )
+    return 0

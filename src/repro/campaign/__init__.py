@@ -22,7 +22,13 @@ from .cache import (
     code_version,
     default_cache_dir,
 )
-from .executor import CampaignResult, CellResult, run_campaign, run_cell
+from .executor import (
+    CampaignResult,
+    CellResult,
+    run_campaign,
+    run_cell,
+    run_cells,
+)
 from .spec import CampaignCell, CampaignSpec, WorkloadSpec
 
 __all__ = [
@@ -42,5 +48,6 @@ __all__ = [
     "flatten_metrics",
     "run_campaign",
     "run_cell",
+    "run_cells",
     "t_critical_95",
 ]

@@ -27,7 +27,8 @@ from .spec import CampaignCell
 PathLike = Union[str, Path]
 
 #: bump to invalidate every cached cell after a metrics-affecting change
-CACHE_SCHEMA = 1
+#: (2: metric records gained the Figure 3 "weekly" series)
+CACHE_SCHEMA = 2
 
 #: environment override for the default cache root
 CACHE_DIR_ENV = "REPRO_CAMPAIGN_CACHE"

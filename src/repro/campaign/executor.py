@@ -19,7 +19,7 @@ import time
 from collections import OrderedDict
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..experiments.export import policy_run_record
 from ..experiments.runner import run_policy_with_options
@@ -119,18 +119,23 @@ class CampaignResult:
         return aggregate_cells(self.results, campaign=self.spec.name)
 
 
-def run_campaign(
-    spec: CampaignSpec,
+def run_cells(
+    cells: Sequence[CampaignCell],
     jobs: int = 1,
     cache: Optional[CampaignCache] = None,
     force: bool = False,
     progress: Optional[ProgressFn] = None,
-) -> CampaignResult:
-    """Expand a spec and run it: cache lookups first, then the missing
-    cells — inline for ``jobs <= 1``, else across a process pool — with
-    results streamed back (and cached) as they complete."""
-    t0 = time.perf_counter()
-    cells = spec.expand()
+) -> List[CellResult]:
+    """Execute an explicit cell list: cache lookups first, then the
+    missing cells — inline for ``jobs <= 1``, else across a process pool
+    — with results streamed back (and cached) as they complete.
+
+    Results come back aligned with the input order regardless of
+    completion order.  This is the shared execution core: campaign
+    sweeps call it on an expanded grid, the paper-artifact builder on a
+    deduplicated union of artifact requirements.
+    """
+    cells = list(cells)
     keys = [cell_key(c) for c in cells]
     slots: List[Optional[CellResult]] = [None] * len(cells)
     done = 0
@@ -210,8 +215,23 @@ def run_campaign(
         ) from failures[0][1]
 
     assert all(r is not None for r in slots)
+    return [r for r in slots if r is not None]
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    jobs: int = 1,
+    cache: Optional[CampaignCache] = None,
+    force: bool = False,
+    progress: Optional[ProgressFn] = None,
+) -> CampaignResult:
+    """Expand a spec and run its grid through :func:`run_cells`."""
+    t0 = time.perf_counter()
+    results = run_cells(
+        spec.expand(), jobs=jobs, cache=cache, force=force, progress=progress
+    )
     return CampaignResult(
         spec=spec,
-        results=[r for r in slots if r is not None],
+        results=results,
         elapsed=time.perf_counter() - t0,
     )

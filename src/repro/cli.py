@@ -8,6 +8,10 @@ Subcommands::
     repro-sched figures   --scale 0.1          # print every paper figure
     repro-sched tables    --scale 1.0          # print Tables 1-2
     repro-sched sweep     campaign.json --jobs 4   # parallel cached sweep
+    repro-sched paper build --scale 0.05 --jobs 4  # build every paper artifact
+    repro-sched paper build --only fig08,table1
+    repro-sched paper list                      # the artifact registry
+    repro-sched paper diff --against other/manifest.json
     repro-sched policies                        # list known policies
     repro-sched scenarios list                  # the scenario library
     repro-sched scenarios describe heavy-tail-runtimes
@@ -21,10 +25,13 @@ Subcommands::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
+from . import artifacts as A
 from .campaign import (
     CampaignCache,
     CampaignSpec,
@@ -32,7 +39,6 @@ from .campaign import (
     run_campaign,
 )
 from .experiments import figures as F
-from .experiments.config import BenchConfig, bench_workload
 from .experiments.export import (
     export_campaign_csv,
     export_campaign_json,
@@ -49,7 +55,7 @@ from .experiments.tables import (
     table1_job_counts,
     table2_proc_hours,
 )
-from .sched.registry import MINOR_POLICIES, PAPER_POLICIES, REGISTRY
+from .sched.registry import PAPER_POLICIES, REGISTRY
 from .workload.generator import GeneratorConfig, generate_cplant_workload
 from .workload.model import Workload
 from .workload.swf import read_swf, write_swf
@@ -301,6 +307,91 @@ def cmd_scenarios_export(args) -> int:
     return 0
 
 
+def cmd_paper_list(_args) -> int:
+    print(f"{'id':<8}{'kind':<8}{'inputs':<26}{'output'}")
+    for art in A.all_artifacts():
+        deps = []
+        if art.policies:
+            deps.append(f"{len(art.policies)} policy cells")
+        if art.needs_workload:
+            deps.append("workload")
+        print(f"{art.id:<8}{art.kind:<8}{' + '.join(deps):<26}{art.output}")
+    print(f"\n{len(A.all_artifacts())} artifacts; "
+          "repro paper build [--only id,id] builds them (docs/PIPELINE.md)")
+    return 0
+
+
+def cmd_paper_build(args) -> int:
+    only = args.only.split(",") if args.only else None
+    cache = None if args.no_cache else CampaignCache(args.cache_dir)
+    config = A.PaperConfig(scale=args.scale, seed=args.seed)
+
+    def progress(done, total, cell, source):
+        if not args.quiet:
+            tag = "cache" if source == "cache" else "run  "
+            print(f"[paper] {done:>3}/{total} {tag} {cell.label()}", flush=True)
+
+    try:
+        result = A.build_artifacts(
+            only=only,
+            config=config,
+            out_dir=args.out_dir,
+            jobs=args.jobs,
+            cache=cache,
+            force=args.force,
+            check=args.check,
+            progress=progress,
+        )
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    plan = result.plan
+    if not args.quiet:
+        for rendered in result.outputs:
+            print(f"[paper] wrote {rendered.path} "
+                  f"(sha256 {rendered.sha256[:12]})")
+    print(
+        f"paper build: {len(result.outputs)} artifacts, "
+        f"{len(plan.cells)} cells ({result.n_simulated} simulated, "
+        f"{result.n_cached} cached, {plan.n_shared} shared) "
+        f"in {result.elapsed:.1f}s at scale {plan.config.scale}"
+    )
+    print(f"manifest: {result.manifest_path}")
+    return 0
+
+
+def cmd_paper_diff(args) -> int:
+    if args.against:
+        try:
+            ours = A.load_manifest(args.out_dir)
+        except (OSError, ValueError):
+            print(f"[paper-diff] missing or unreadable "
+                  f"{A.MANIFEST_NAME} in {args.out_dir}")
+            return 1
+        try:
+            theirs = json.loads(Path(args.against).read_text())
+        except (OSError, ValueError):
+            print(f"[paper-diff] missing or unreadable manifest "
+                  f"{args.against}")
+            return 1
+        diffs = A.diff_manifests(ours, theirs)
+        for d in diffs:
+            print(f"[paper-diff] {d}")
+        if diffs:
+            return 1
+        print(f"[paper-diff] manifests agree ({len(ours['artifacts'])} artifacts)")
+        return 0
+    problems = A.verify_outputs(args.out_dir)
+    for p in problems:
+        print(f"[paper-diff] {p}")
+    if problems:
+        return 1
+    doc = A.load_manifest(args.out_dir)
+    print(f"[paper-diff] {args.out_dir} matches its manifest "
+          f"({len(doc['artifacts'])} artifacts)")
+    return 0
+
+
 def cmd_policies(_args) -> int:
     for key, spec in REGISTRY.items():
         star = "*" if key in PAPER_POLICIES else " "
@@ -373,6 +464,52 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--quiet", action="store_true",
                     help="suppress per-cell progress lines")
     sw.set_defaults(fn=cmd_sweep)
+
+    pp = sub.add_parser(
+        "paper",
+        help="declarative paper-artifact pipeline (figures 3-19, tables 1-2)",
+    )
+    ppsub = pp.add_subparsers(dest="paper_command", required=True)
+
+    pb = ppsub.add_parser(
+        "build",
+        help="build paper artifacts through the content-addressed cache",
+    )
+    pb.add_argument("--only", default=None,
+                    help="comma-separated artifact ids (default: all; "
+                         "see `repro paper list`)")
+    pb.add_argument("--scale", type=float, default=A.DEFAULT_SCALE,
+                    help="synthetic trace scale (1.0 = the full trace)")
+    pb.add_argument("--seed", type=int, default=A.DEFAULT_SEED,
+                    help="generator seed")
+    pb.add_argument("--jobs", type=int, default=1,
+                    help="simulation worker processes (1 = inline)")
+    pb.add_argument("--out-dir", default="paper-artifacts",
+                    help="output directory for renderings + manifest.json")
+    pb.add_argument("--cache-dir", default=None,
+                    help="cell cache root (default ~/.cache/repro-campaign)")
+    pb.add_argument("--no-cache", action="store_true",
+                    help="neither read nor write the on-disk cell cache")
+    pb.add_argument("--force", action="store_true",
+                    help="ignore cached cells but still refresh them")
+    pb.add_argument("--check", action="store_true",
+                    help="run each artifact's qualitative shape checks")
+    pb.add_argument("--quiet", action="store_true",
+                    help="suppress per-cell and per-artifact lines")
+    pb.set_defaults(fn=cmd_paper_build)
+
+    pl = ppsub.add_parser("list", help="list registered paper artifacts")
+    pl.set_defaults(fn=cmd_paper_list)
+
+    pd = ppsub.add_parser(
+        "diff",
+        help="verify outputs against manifest.json, or compare manifests",
+    )
+    pd.add_argument("--out-dir", default="paper-artifacts",
+                    help="build directory holding manifest.json")
+    pd.add_argument("--against", default=None,
+                    help="second manifest.json to compare against")
+    pd.set_defaults(fn=cmd_paper_diff)
 
     ls = sub.add_parser("policies", help="list known policies")
     ls.set_defaults(fn=cmd_policies)

@@ -25,7 +25,7 @@ times; ``tests/test_listsched.py`` checks them against each other.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 

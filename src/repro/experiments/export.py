@@ -13,8 +13,6 @@ import json
 from pathlib import Path
 from typing import Dict, Mapping, Union
 
-import numpy as np
-
 from ..workload.categories import WIDTH_LABELS
 from .runner import PolicyRun
 
@@ -22,7 +20,14 @@ PathLike = Union[str, Path]
 
 
 def policy_run_record(run: PolicyRun) -> Dict[str, object]:
-    """Flatten one PolicyRun into JSON-serializable primitives."""
+    """Flatten one PolicyRun into JSON-serializable primitives.
+
+    Everything the paper-artifact renderers consume rides along —
+    including the Figure 3 weekly series — so a cached campaign cell can
+    rebuild its figures without re-simulating (floats survive the JSON
+    round trip exactly, keeping renderings byte-identical).
+    """
+    weekly = run.weekly
     return {
         "policy": run.policy,
         "summary": run.summary.as_dict(),
@@ -34,6 +39,11 @@ def policy_run_record(run: PolicyRun) -> Dict[str, object]:
         "events_processed": run.result.events_processed,
         "scheduler_jobs": len(run.result.jobs),
         "metric_jobs": len(run.metric_jobs),
+        "weekly": {
+            "week_start": [float(x) for x in weekly.week_start],
+            "offered_load": [float(x) for x in weekly.offered_load],
+            "utilization": [float(x) for x in weekly.utilization],
+        },
     }
 
 

@@ -9,8 +9,8 @@ options) because a dozen benchmarks share them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,6 +32,7 @@ from ..metrics.standard import (
     makespan,
     utilization,
 )
+from ..metrics.weekly import WeeklySeries, weekly_series
 from ..sched.registry import get_policy
 from ..workload.model import Workload
 from ..workload.transforms import parent_view, split_by_runtime_limit
@@ -68,6 +69,12 @@ class PolicyRun:
     @property
     def average_turnaround(self) -> float:
         return self.summary.avg_turnaround
+
+    @property
+    def weekly(self) -> WeeklySeries:
+        """The Figure 3 weekly offered-load/utilization series, computed
+        over the raw schedule (chunks count when and where they ran)."""
+        return weekly_series(self.result.jobs, self.result.cluster_size)
 
 
 @dataclass(frozen=True)

@@ -26,7 +26,6 @@ from ..core.events import EventKind
 from ..core.job import Job, JobState
 from .base import BaseScheduler, _remove_identical
 from .easy import head_reservation
-from .fairshare import DAY
 
 
 class NoGuaranteeScheduler(BaseScheduler):

@@ -8,7 +8,7 @@ live in :mod:`repro.workload.cplant`.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -102,12 +102,12 @@ def category_matrix(
     Table 2.
     """
     w = width_categories(nodes)
-    l = length_categories(runtimes)
+    ln_cat = length_categories(runtimes)
     out = np.zeros((N_WIDTH, N_LENGTH), dtype=np.float64)
     if weights is None:
-        np.add.at(out, (w, l), 1.0)
+        np.add.at(out, (w, ln_cat), 1.0)
     else:
-        np.add.at(out, (w, l), np.asarray(weights, dtype=np.float64))
+        np.add.at(out, (w, ln_cat), np.asarray(weights, dtype=np.float64))
     return out
 
 

@@ -21,7 +21,7 @@ Everything is driven by one :class:`numpy.random.Generator` seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np

@@ -23,7 +23,7 @@ from __future__ import annotations
 import io
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, List, TextIO, Tuple, Union
+from typing import List, TextIO, Tuple, Union
 
 from ..core.job import Job
 from .model import Workload

@@ -111,8 +111,8 @@ class TestPlacedCluster:
     def test_drop_in_for_engine(self, small_workload):
         cluster = PlacedCluster(small_workload.system_size,
                                 SpanMinimizingAllocator())
-        res = Engine(cluster, NoGuaranteeScheduler(), small_workload.jobs,
-                     validate=True).run()
+        Engine(cluster, NoGuaranteeScheduler(), small_workload.jobs,
+               validate=True).run()
         assert len(cluster.placements) == len(small_workload)
         stats = placement_stats(cluster.placements)
         assert stats.mean_span_ratio >= 1.0

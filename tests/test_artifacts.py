@@ -1,0 +1,389 @@
+"""Paper-artifact pipeline: registry completeness, cell dedup, the
+incremental build, manifest determinism (in- and cross-process), the
+CLI surface, and the standalone benchmark shims."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.artifacts import (
+    MANIFEST_NAME,
+    PaperConfig,
+    RecordRun,
+    all_artifacts,
+    artifact_ids,
+    build_artifacts,
+    diff_manifests,
+    get_artifact,
+    plan_build,
+    select_artifacts,
+    verify_outputs,
+)
+from repro.campaign import CampaignCache, cell_key
+from repro.cli import main
+from repro.experiments.export import policy_run_record
+from repro.experiments.runner import run_policy
+from repro.sched.registry import PAPER_POLICIES, REGISTRY
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: tiny but non-degenerate: ~260 jobs, every policy still queues
+SMALL = PaperConfig(scale=0.02, seed=3)
+
+EXPECTED_IDS = [f"fig{n:02d}" for n in range(3, 20)] + ["table1", "table2"]
+
+
+@pytest.fixture(scope="module")
+def built(tmp_path_factory):
+    """One full small-scale build shared by the read-only assertions."""
+    root = tmp_path_factory.mktemp("paper")
+    cache = CampaignCache(root / "cache")
+    result = build_artifacts(
+        config=SMALL, out_dir=root / "out", cache=cache, check=True
+    )
+    return root, cache, result
+
+
+class TestRegistry:
+    def test_every_paper_artifact_is_registered(self):
+        assert artifact_ids() == EXPECTED_IDS
+
+    def test_output_paths_are_unique(self):
+        outputs = [a.output for a in all_artifacts()]
+        assert len(outputs) == len(set(outputs))
+
+    def test_policies_are_known_and_inputs_declared(self):
+        for art in all_artifacts():
+            assert art.policies or art.needs_workload
+            for p in art.policies:
+                assert p in REGISTRY
+
+    def test_every_artifact_has_a_check(self):
+        assert all(a.check is not None for a in all_artifacts())
+
+    def test_unknown_ids_fail_fast(self):
+        with pytest.raises(KeyError, match="unknown artifact"):
+            get_artifact("fig99")
+        with pytest.raises(KeyError, match="fig99"):
+            select_artifacts(["fig08", "fig99"])
+
+
+class TestPlan:
+    def test_full_plan_dedupes_to_the_nine_policies(self):
+        plan = plan_build(config=SMALL)
+        assert sorted(c.policy for c in plan.cells) == sorted(PAPER_POLICIES)
+        assert len(set(plan.keys)) == len(plan.keys)
+        # figures 8-19 all share the nine-policy suite: most requirements
+        # collapse onto already-planned cells
+        assert plan.n_shared > 50
+
+    def test_subset_plan_is_the_union_of_requirements(self):
+        plan = plan_build(["fig08", "fig14", "table1"], config=SMALL)
+        wanted = set(get_artifact("fig08").policies)
+        wanted |= set(get_artifact("fig14").policies)
+        assert sorted(c.policy for c in plan.cells) == sorted(wanted)
+        assert plan.needs_workload  # table1 wants the trace
+
+    def test_cell_keys_match_the_campaign_cache_convention(self):
+        plan = plan_build(["fig03"], config=SMALL)
+        assert plan.keys == [cell_key(plan.cells[0])]
+
+    def test_scale_and_seed_change_the_cell_keys(self):
+        base = plan_build(["fig03"], config=SMALL).keys[0]
+        other_scale = plan_build(
+            ["fig03"], config=PaperConfig(scale=0.03, seed=SMALL.seed)
+        ).keys[0]
+        other_seed = plan_build(
+            ["fig03"], config=PaperConfig(scale=SMALL.scale, seed=99)
+        ).keys[0]
+        assert len({base, other_scale, other_seed}) == 3
+
+
+class TestBuild:
+    def test_builds_every_artifact(self, built):
+        root, _, result = built
+        assert len(result.outputs) == len(EXPECTED_IDS)
+        for rendered in result.outputs:
+            assert rendered.path.is_file()
+            assert rendered.path.read_text().rstrip()
+        assert result.n_simulated == len(PAPER_POLICIES)
+        assert result.n_cached == 0
+
+    def test_rebuild_is_all_cache_hits_and_byte_identical(self, built):
+        root, cache, result = built
+        before = result.manifest_path.read_bytes()
+        again = build_artifacts(
+            config=SMALL, out_dir=root / "out", cache=cache, check=True
+        )
+        assert again.n_simulated == 0
+        assert again.n_cached == len(PAPER_POLICIES)
+        assert again.manifest_path.read_bytes() == before
+
+    def test_manifest_names_inputs_and_digests(self, built):
+        root, _, result = built
+        doc = json.loads(result.manifest_path.read_text())
+        assert set(doc["artifacts"]) == set(EXPECTED_IDS)
+        assert doc["config"] == {"scale": SMALL.scale, "seed": SMALL.seed}
+        fig14 = doc["artifacts"]["fig14"]
+        assert set(fig14["inputs"]["cells"]) == set(PAPER_POLICIES)
+        table1 = doc["artifacts"]["table1"]
+        assert table1["inputs"]["cells"] == {}
+        assert table1["inputs"]["workload"]
+        for entry in doc["artifacts"].values():
+            assert len(entry["sha256"]) == 64
+
+    def test_verify_outputs_flags_edits(self, built):
+        root, _, result = built
+        assert verify_outputs(root / "out") == []
+        victim = root / "out" / get_artifact("fig08").output
+        original = victim.read_text()
+        victim.write_text(original + "tampered\n")
+        try:
+            problems = verify_outputs(root / "out")
+            assert any("fig08" in p for p in problems)
+        finally:
+            victim.write_text(original)
+
+    def test_diff_manifests(self, built):
+        root, _, result = built
+        doc = json.loads(result.manifest_path.read_text())
+        assert diff_manifests(doc, doc) == []
+        other = json.loads(result.manifest_path.read_text())
+        other["artifacts"]["fig08"]["sha256"] = "0" * 64
+        del other["artifacts"]["table2"]
+        diffs = diff_manifests(doc, other)
+        assert any("fig08" in d for d in diffs)
+        assert any("table2" in d for d in diffs)
+
+    def test_subset_build_reuses_the_shared_cache(self, built):
+        root, cache, _ = built
+        result = build_artifacts(
+            only=["fig08", "table1"],
+            config=SMALL,
+            out_dir=root / "subset",
+            cache=cache,
+        )
+        assert result.n_simulated == 0
+        assert [r.artifact.id for r in result.outputs] == ["fig08", "table1"]
+
+    def test_parallel_build_matches_inline(self, built, tmp_path):
+        root, _, result = built
+        parallel = build_artifacts(
+            config=SMALL,
+            out_dir=tmp_path / "out",
+            cache=CampaignCache(tmp_path / "cache"),
+            jobs=2,
+        )
+        assert parallel.n_simulated == len(PAPER_POLICIES)
+        assert (
+            parallel.manifest_path.read_bytes()
+            == result.manifest_path.read_bytes()
+        )
+
+
+class TestRecordRun:
+    def test_matches_the_live_policy_run(self):
+        wl = SMALL.build_workload()
+        run = run_policy(wl, "cplant24.nomax.all")
+        rec = RecordRun("cplant24.nomax.all", policy_run_record(run))
+        assert rec.percent_unfair == run.percent_unfair
+        assert rec.average_miss_time == run.average_miss_time
+        assert rec.average_turnaround == run.average_turnaround
+        assert rec.loss_of_capacity == run.loss_of_capacity
+        np.testing.assert_array_equal(rec.miss_by_width, run.miss_by_width)
+        np.testing.assert_array_equal(
+            rec.turnaround_by_width, run.turnaround_by_width
+        )
+        np.testing.assert_array_equal(
+            rec.weekly.offered_load, run.weekly.offered_load
+        )
+        np.testing.assert_array_equal(
+            rec.weekly.utilization, run.weekly.utilization
+        )
+
+    def test_record_survives_a_json_round_trip_exactly(self):
+        wl = SMALL.build_workload()
+        run = run_policy(wl, "easy.fcfs")
+        record = policy_run_record(run)
+        roundtripped = json.loads(json.dumps(record))
+        assert roundtripped == record
+
+
+class TestCrossProcessDeterminism:
+    def test_manifests_agree_across_fresh_processes(self, tmp_path):
+        """Two cold builds in separate interpreters (separate caches, so
+        both actually simulate) must write byte-identical manifests."""
+        prog = (
+            "import sys\n"
+            "from repro.artifacts import PaperConfig, build_artifacts\n"
+            "from repro.campaign import CampaignCache\n"
+            "out, cache = sys.argv[1], sys.argv[2]\n"
+            "r = build_artifacts(only=['fig03', 'fig08', 'table1'],\n"
+            "                    config=PaperConfig(scale=0.02, seed=3),\n"
+            "                    out_dir=out, cache=CampaignCache(cache))\n"
+            "print(r.manifest_path)\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        manifests = []
+        for tag in ("a", "b"):
+            subprocess.run(
+                [
+                    sys.executable,
+                    "-c",
+                    prog,
+                    str(tmp_path / tag),
+                    str(tmp_path / f"cache-{tag}"),
+                ],
+                env=env,
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+            manifests.append((tmp_path / tag / MANIFEST_NAME).read_bytes())
+        assert manifests[0] == manifests[1]
+
+
+class TestShims:
+    def test_bench_scripts_are_thin_registrations(self):
+        bench = REPO_ROOT / "benchmarks"
+        for art in all_artifacts():
+            matches = list(bench.glob(f"bench_{art.id}_*.py"))
+            if art.id.startswith("table"):
+                matches += list(bench.glob(f"bench_{art.id}*.py"))
+            assert matches, f"no benchmark shim for {art.id}"
+            text = matches[0].read_text()
+            assert f'bench_shim("{art.id}")' in text
+            assert f'main_shim("{art.id}")' in text
+
+    def test_direct_invocation_still_works(self, tmp_path):
+        """`python benchmarks/bench_fig08_....py` must keep working."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "benchmarks" / "bench_fig08_percent_unfair_minor.py"),
+                "--scale",
+                "0.02",
+                "--seed",
+                "3",
+                "--out-dir",
+                str(tmp_path),
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--no-check",
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert "Figure 8" in proc.stdout
+        assert (tmp_path / get_artifact("fig08").output).is_file()
+
+
+class TestPaperCLI:
+    def test_subcommands_present(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        sub = {a.dest: a for a in parser._actions}["command"]
+        assert "paper" in sub.choices
+
+    def test_list(self, capsys):
+        assert main(["paper", "list"]) == 0
+        out = capsys.readouterr().out
+        for art_id in EXPECTED_IDS:
+            assert art_id in out
+
+    def test_build_only_and_diff(self, tmp_path, capsys):
+        argv = [
+            "paper",
+            "build",
+            "--only",
+            "fig04,table1",
+            "--scale",
+            "0.02",
+            "--seed",
+            "3",
+            "--out-dir",
+            str(tmp_path / "out"),
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 artifacts" in out
+        assert (tmp_path / "out" / MANIFEST_NAME).is_file()
+
+        assert main(["paper", "diff", "--out-dir", str(tmp_path / "out")]) == 0
+        capsys.readouterr()
+
+        # an edited output is reported as stale, and rc flips to 1
+        victim = tmp_path / "out" / get_artifact("fig04").output
+        victim.write_text(victim.read_text() + "x\n")
+        assert main(["paper", "diff", "--out-dir", str(tmp_path / "out")]) == 1
+        assert "fig04" in capsys.readouterr().out
+
+    def test_build_rejects_unknown_artifact(self, tmp_path, capsys):
+        rc = main(
+            [
+                "paper",
+                "build",
+                "--only",
+                "fig99",
+                "--out-dir",
+                str(tmp_path / "out"),
+                "--no-cache",
+            ]
+        )
+        assert rc == 2
+        assert "fig99" in capsys.readouterr().err
+
+    def test_diff_against_other_manifest(self, tmp_path, capsys):
+        for tag in ("a", "b"):
+            assert (
+                main(
+                    [
+                        "paper",
+                        "build",
+                        "--only",
+                        "fig04",
+                        "--scale",
+                        "0.02",
+                        "--seed",
+                        "3",
+                        "--out-dir",
+                        str(tmp_path / tag),
+                        "--cache-dir",
+                        str(tmp_path / "cache"),
+                        "--quiet",
+                    ]
+                )
+                == 0
+            )
+        capsys.readouterr()
+        rc = main(
+            [
+                "paper",
+                "diff",
+                "--out-dir",
+                str(tmp_path / "a"),
+                "--against",
+                str(tmp_path / "b" / MANIFEST_NAME),
+            ]
+        )
+        assert rc == 0
+        assert "agree" in capsys.readouterr().out

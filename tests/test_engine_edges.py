@@ -4,8 +4,7 @@ import pytest
 
 from repro.core.cluster import Cluster
 from repro.core.engine import Engine, KillPolicy
-from repro.core.events import EventKind
-from repro.core.job import Job, JobState
+from repro.core.job import JobState
 from repro.core.results import SimulationResult
 from repro.sched.base import BaseScheduler
 from repro.sched.conservative import ConservativeScheduler

@@ -1,6 +1,5 @@
 """Unit tests for the list scheduler behind the hybrid FST metric."""
 
-import numpy as np
 import pytest
 
 from repro.core.listsched import ListScheduler

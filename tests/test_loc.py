@@ -49,11 +49,6 @@ class TestKnownWaste:
 
     def test_waste_capped_by_queued_demand(self):
         """A queued 2-wide job only 'wastes' 2 of the 4 idle nodes."""
-        jobs = [
-            make_job(id=1, submit=0.0, nodes=4, runtime=100.0),
-            make_job(id=2, submit=0.0, nodes=8, runtime=100.0),
-            # strict FCFS: the narrow job is stuck behind the wide one
-        ]
         jobs2 = [
             make_job(id=1, submit=0.0, nodes=4, runtime=100.0),
             make_job(id=2, submit=50.0, nodes=6, runtime=100.0),

@@ -1,6 +1,5 @@
 """Tests for the Workload container."""
 
-import numpy as np
 import pytest
 
 from repro.workload.model import Workload

@@ -1,7 +1,6 @@
 """Property-based tests (hypothesis) on the core data structures and the
 simulation invariants every policy must uphold."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -59,7 +59,7 @@ class TestQueueStats:
         assert (t[1:] >= t[:-1]).all()
 
     def test_empty_series_helper(self):
-        t, l, n = queue_series_to_arrays([])
+        t, lens, n = queue_series_to_arrays([])
         assert len(t) == 0
 
     def test_collect_into_result(self):

@@ -17,7 +17,6 @@ from repro.experiments.runner import PolicyRun, run_scenario
 from repro.scenarios import (
     Param,
     Scenario,
-    ScenarioParam,
     TransformStep,
     all_scenarios,
     build_scenario,

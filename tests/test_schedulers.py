@@ -105,7 +105,6 @@ class TestNoGuarantee:
         jobs = [make_job(id=1, submit=0.0, nodes=8, runtime=10.0, user=9)]
         # user 9's usage is raised by an early job so the wide job sorts last
         jobs.insert(0, make_job(id=99, submit=0.0, nodes=8, runtime=1.0, user=9))
-        t = 0.0
         jid = 2
         # steady stream of narrow jobs from many users, denser than the
         # wide job can ever fit around

@@ -1,9 +1,8 @@
 """Tests for the Figure 3 weekly offered-load/utilization series."""
 
-import numpy as np
 import pytest
 
-from repro.metrics.weekly import WEEK, WeeklySeries, format_weekly, weekly_series
+from repro.metrics.weekly import WEEK, format_weekly, weekly_series
 from tests.conftest import make_job
 
 

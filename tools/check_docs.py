@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Docs-consistency checks (run by the CI `docs` job and usable locally).
 
-Three checks:
+Four checks:
 
 1. **Scenario catalog** — every scenario registered in
    ``repro.scenarios`` must appear (as `` `name` ``) in
@@ -13,6 +13,9 @@ Three checks:
    benchmark/trajectory entry points it documents (they must exist on
    disk), and docs/ARCHITECTURE.md must carry a Performance section, so
    the perf-trajectory workflow stays discoverable.
+4. **Pipeline docs** — docs/PIPELINE.md must document every artifact
+   registered in ``repro.artifacts`` (as `` `id` ``) plus the build
+   CLI and manifest, so the paper-artifact catalog cannot drift.
 
 Exit status 0 = consistent; 1 = problems (all listed on stderr).
 
@@ -96,14 +99,32 @@ def check_performance_docs() -> list[str]:
     return problems
 
 
+def check_pipeline_docs() -> list[str]:
+    from repro.artifacts import artifact_ids
+
+    doc_path = ROOT / "docs" / "PIPELINE.md"
+    if not doc_path.is_file():
+        return ["missing docs/PIPELINE.md"]
+    doc = doc_path.read_text()
+    problems = [
+        f"docs/PIPELINE.md: registered artifact `{art_id}` is not documented"
+        for art_id in artifact_ids()
+        if f"`{art_id}`" not in doc
+    ]
+    for needle in ("repro paper build", "manifest.json", "--scale"):
+        if needle not in doc:
+            problems.append(f"docs/PIPELINE.md: does not mention `{needle}`")
+    return problems
+
+
 def main() -> int:
     problems = (check_scenario_catalog() + check_links()
-                + check_performance_docs())
+                + check_performance_docs() + check_pipeline_docs())
     for p in problems:
         print(f"[check-docs] {p}", file=sys.stderr)
     if problems:
         return 1
-    print("[check-docs] scenario catalog and doc links are consistent")
+    print("[check-docs] catalogs, pipeline docs, and doc links are consistent")
     return 0
 
 
