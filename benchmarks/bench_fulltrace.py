@@ -43,8 +43,14 @@ DEFAULT_POLICIES = (
 )
 
 
-def bench_policy(workload, policy: str, repeat: int = 1) -> dict:
-    """Run one policy ``repeat`` times; report the best wall time."""
+def bench_policy(workload, policy: str, repeat: int = 1,
+                 counters: bool = False) -> dict:
+    """Run one policy ``repeat`` times; report the best wall time.
+
+    With ``counters=True`` an extra (untimed) run collects the hot-path
+    counter registry — kept out of the timed runs so the reported seconds
+    measure the zero-overhead disabled configuration.
+    """
     from repro.experiments.runner import run_policy
 
     best = None
@@ -59,7 +65,7 @@ def bench_policy(workload, policy: str, repeat: int = 1) -> dict:
         events = run.result.events_processed
         jobs = len(run.result.jobs)
         digest = run.result.digest()
-    return {
+    rec = {
         "seconds": round(best, 4),
         "runs_per_sec": round(1.0 / best, 4),
         "events_per_sec": round(events / best, 1),
@@ -68,10 +74,21 @@ def bench_policy(workload, policy: str, repeat: int = 1) -> dict:
         "jobs": jobs,
         "digest": digest,
     }
+    if counters:
+        from repro.obs.counters import collect
+
+        with collect() as c:
+            counted = run_policy(workload, policy)
+        if counted.result.digest() != digest:
+            raise AssertionError(
+                f"{policy}: digest changed with counters enabled"
+            )
+        rec["counters"] = c.as_dict()
+    return rec
 
 
 def run_bench(scale: float, seed: int, policies, repeat: int = 1,
-              progress: bool = True) -> dict:
+              progress: bool = True, counters: bool = False) -> dict:
     from repro.experiments.config import BenchConfig, bench_workload
 
     wl = bench_workload(BenchConfig(scale=scale, seed=seed))
@@ -87,7 +104,7 @@ def run_bench(scale: float, seed: int, policies, repeat: int = 1,
     for policy in policies:
         if progress:
             print(f"[bench] {policy} ...", flush=True)
-        rec = bench_policy(wl, policy, repeat=repeat)
+        rec = bench_policy(wl, policy, repeat=repeat, counters=counters)
         report["policies"][policy] = rec
         if progress:
             print(
@@ -107,13 +124,17 @@ def main(argv=None) -> int:
     ap.add_argument("--policies", nargs="*", default=list(DEFAULT_POLICIES))
     ap.add_argument("--repeat", type=int, default=1,
                     help="runs per policy; best time is reported")
+    ap.add_argument("--counters", action="store_true",
+                    help="record hot-path counters (one extra untimed "
+                         "run per policy)")
     ap.add_argument("--out", type=Path, default=None,
                     help="write/update a BENCH_*.json report here")
     ap.add_argument("--label", default="post",
                     help="section of the report to fill: 'baseline' or 'post'")
     args = ap.parse_args(argv)
 
-    report = run_bench(args.scale, args.seed, args.policies, repeat=args.repeat)
+    report = run_bench(args.scale, args.seed, args.policies,
+                       repeat=args.repeat, counters=args.counters)
     if args.out is not None:
         merged = {}
         if args.out.exists():
@@ -142,10 +163,13 @@ def main(argv=None) -> int:
 def test_fulltrace_smoke():
     """Tiny-scale sanity run so CI catches breakage cheaply."""
     report = run_bench(scale=0.02, seed=7, policies=("cons.nomax",),
-                       progress=False)
+                       progress=False, counters=True)
     rec = report["policies"]["cons.nomax"]
     assert rec["events_per_sec"] > 0
     assert rec["jobs"] == report["n_jobs"]
+    # the counter pass rode along and saw the simulation's hot paths fire
+    assert rec["counters"]["engine.events"] == rec["events"]
+    assert rec["counters"]["profile.reserve_fitted"] > 0
 
 
 if __name__ == "__main__":

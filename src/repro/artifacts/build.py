@@ -26,7 +26,12 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..campaign.cache import CampaignCache, cell_key, code_version
-from ..campaign.executor import ProgressFn, run_cells
+from ..campaign.executor import (
+    CampaignRunStats,
+    ProgressFn,
+    campaign_stats,
+    run_cells,
+)
 from ..campaign.spec import CampaignCell, WorkloadSpec
 from ..experiments.runner import RunOptions
 from ..workload.model import Workload
@@ -42,10 +47,15 @@ from .spec import (
 PathLike = Union[str, Path]
 
 #: bump when the manifest document layout changes
-MANIFEST_SCHEMA = 1
+#: (2: added the deterministic plan-shape ``stats`` block)
+MANIFEST_SCHEMA = 2
 
 #: the manifest filename inside the output directory
 MANIFEST_NAME = "manifest.json"
+
+#: sidecar with the volatile run stats (wall time, cache hits) — kept out
+#: of the manifest, which must stay byte-identical across rebuilds
+STATS_NAME = "build-stats.json"
 
 #: default trace scale for ``repro paper build`` (the benchmark default)
 DEFAULT_SCALE = 0.2
@@ -157,6 +167,8 @@ class BuildResult:
     n_cached: int = 0
     elapsed: float = 0.0
     texts: Dict[str, str] = field(default_factory=dict)
+    stats: Optional[CampaignRunStats] = None
+    stats_path: Optional[Path] = None
 
 
 def _sha256(data: bytes) -> str:
@@ -187,9 +199,11 @@ def build_artifacts(
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
 
+    stats_base = cache.stats.snapshot() if cache is not None else None
     results = run_cells(
         plan.cells, jobs=jobs, cache=cache, force=force, progress=progress
     )
+    cell_wall = time.perf_counter() - t0
     suite = {r.cell.policy: RecordRun(r.cell.policy, r.metrics) for r in results}
 
     workload = plan.config.build_workload() if (plan.needs_workload or check) else None
@@ -219,6 +233,13 @@ def build_artifacts(
     doc = manifest_doc(plan, outputs, wl_digest)
     manifest_path = out / MANIFEST_NAME
     manifest_path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    stats = campaign_stats(
+        results, cell_wall, max(1, jobs),
+        cache.stats.since(stats_base) if stats_base is not None else None,
+    )
+    stats_path = out / STATS_NAME
+    stats_path.write_text(json.dumps(stats.as_dict(), indent=2,
+                                     sort_keys=True) + "\n")
     return BuildResult(
         plan=plan,
         outputs=outputs,
@@ -227,6 +248,8 @@ def build_artifacts(
         n_cached=sum(1 for r in results if r.cached),
         elapsed=time.perf_counter() - t0,
         texts=texts,
+        stats=stats,
+        stats_path=stats_path,
     )
 
 
@@ -257,6 +280,14 @@ def manifest_doc(
         "code": code_version(),
         "config": {"scale": plan.config.scale, "seed": plan.config.seed},
         "artifacts": artifacts,
+        # deterministic plan-shape stats only: anything run-dependent
+        # (timings, cache hits) lives in the build-stats.json sidecar so
+        # rebuilds stay byte-identical
+        "stats": {
+            "n_artifacts": len(plan.artifacts),
+            "n_cells": len(plan.cells),
+            "n_shared": plan.n_shared,
+        },
     }
 
 

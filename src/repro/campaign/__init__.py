@@ -17,6 +17,7 @@ from .aggregate import (
 from .cache import (
     CACHE_DIR_ENV,
     CACHE_SCHEMA,
+    CacheStats,
     CampaignCache,
     cell_key,
     code_version,
@@ -24,7 +25,9 @@ from .cache import (
 )
 from .executor import (
     CampaignResult,
+    CampaignRunStats,
     CellResult,
+    campaign_stats,
     run_campaign,
     run_cell,
     run_cells,
@@ -34,14 +37,17 @@ from .spec import CampaignCell, CampaignSpec, WorkloadSpec
 __all__ = [
     "CACHE_DIR_ENV",
     "CACHE_SCHEMA",
+    "CacheStats",
     "CampaignCache",
     "CampaignCell",
     "CampaignResult",
+    "CampaignRunStats",
     "CampaignSpec",
     "CellResult",
     "WorkloadSpec",
     "aggregate_cells",
     "aggregate_rows",
+    "campaign_stats",
     "cell_key",
     "code_version",
     "default_cache_dir",

@@ -19,12 +19,16 @@ import hashlib
 import json
 import os
 import tempfile
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
+from ..obs.log import get_logger
 from .spec import CampaignCell
 
 PathLike = Union[str, Path]
+
+log = get_logger("repro.campaign.cache")
 
 #: bump to invalidate every cached cell after a metrics-affecting change
 #: (2: metric records gained the Figure 3 "weekly" series)
@@ -57,29 +61,93 @@ def cell_key(cell: CampaignCell) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
+@dataclass
+class CacheStats:
+    """Lookup accounting for one :class:`CampaignCache` instance.
+
+    ``corrupt`` counts entries that *existed* but could not be used —
+    truncated/non-JSON files, key mismatches, malformed metric blocks —
+    as opposed to plain misses (absent, or invalidated by a schema bump).
+    Corrupt entries still read as misses to callers; the stats exist so a
+    sweep can warn about them instead of silently re-simulating forever.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    corrupt_keys: List[str] = field(default_factory=list)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses + self.corrupt
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.corrupt,
+                          list(self.corrupt_keys))
+
+    def since(self, base: "CacheStats") -> "CacheStats":
+        """Delta relative to an earlier :meth:`snapshot` (caches are
+        long-lived; per-run stats need a window, not lifetime totals)."""
+        return CacheStats(
+            self.hits - base.hits,
+            self.misses - base.misses,
+            self.corrupt - base.corrupt,
+            self.corrupt_keys[len(base.corrupt_keys):],
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "corrupt_keys": list(self.corrupt_keys),
+        }
+
+
 class CampaignCache:
     """Get/put of metric records keyed by :func:`cell_key`.
 
     Misses are silent (corrupt or truncated entries read as misses and are
     overwritten on the next put); hits return the stored metrics dict.
+    ``stats`` tallies hit/miss/corrupt outcomes per instance.
     """
 
     def __init__(self, root: Optional[PathLike] = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        self.stats = CacheStats()
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def _corrupt(self, key: str, why: str) -> None:
+        self.stats.corrupt += 1
+        self.stats.corrupt_keys.append(key)
+        log.debug("corrupt cache entry %s (%s): treating as miss", key, why)
+
     def get(self, key: str) -> Optional[Dict[str, object]]:
         path = self.path_for(key)
         try:
-            doc = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except OSError:
+            self.stats.misses += 1  # absent: the ordinary cold-cache case
             return None
-        if doc.get("key") != key or doc.get("schema") != CACHE_SCHEMA:
+        try:
+            doc = json.loads(text)
+        except ValueError:
+            self._corrupt(key, "not JSON")
+            return None
+        if not isinstance(doc, dict) or doc.get("key") != key:
+            self._corrupt(key, "key mismatch")
+            return None
+        if doc.get("schema") != CACHE_SCHEMA:
+            self.stats.misses += 1  # deliberate invalidation, not damage
             return None
         metrics = doc.get("metrics")
-        return metrics if isinstance(metrics, dict) else None
+        if not isinstance(metrics, dict):
+            self._corrupt(key, "malformed metrics block")
+            return None
+        self.stats.hits += 1
+        return metrics
 
     def put(self, key: str, cell: CampaignCell, metrics: Dict[str, object]) -> Path:
         path = self.path_for(key)

@@ -23,14 +23,19 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..experiments.export import policy_run_record
 from ..experiments.runner import run_policy_with_options
+from ..obs.log import get_logger
+from ..obs.stats import timing_summary, utilization
 from ..workload.model import Workload
 from .aggregate import aggregate_cells
-from .cache import CampaignCache, cell_key
+from .cache import CacheStats, CampaignCache, cell_key
 from .spec import CampaignCell, CampaignSpec, _swf_digest
 
-#: progress callback: (done, total, cell, source) with source in
-#: {"cache", "run"}
-ProgressFn = Callable[[int, int, CampaignCell, str], None]
+log = get_logger("repro.campaign")
+
+#: progress callback: (done, total, cell, source, elapsed) with source in
+#: {"cache", "run"}; ``elapsed`` is the cell's in-worker execution time in
+#: seconds (0.0 for cache hits, which complete instantly)
+ProgressFn = Callable[[int, int, CampaignCell, str, float], None]
 
 # per-process workload memo: many cells share one (workload, seed) instance.
 # LRU eviction (not clear-all): a policy sweep interleaving a handful of
@@ -95,12 +100,96 @@ class CellResult:
 
 
 @dataclass
+class CampaignRunStats:
+    """Execution accounting for one campaign run: where the cells came
+    from, how long simulation took (per-cell percentiles over in-worker
+    time), and how busy the worker pool was.  Rendered by ``repro sweep
+    --stats``; the numbers are observational and never feed back into
+    metrics or cache keys."""
+
+    n_cells: int
+    n_cached: int
+    n_simulated: int
+    wall: float
+    workers: int
+    #: p50/p95/max/total over per-cell in-worker simulation seconds
+    cell_seconds: Dict[str, float]
+    #: fraction of worker capacity spent simulating (None when all cached)
+    pool_utilization: Optional[float]
+    cache: Optional[CacheStats] = None
+
+    @property
+    def rate(self) -> float:
+        """Cells per wall-clock second."""
+        return self.n_cells / self.wall if self.wall > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "n_cells": self.n_cells,
+            "n_cached": self.n_cached,
+            "n_simulated": self.n_simulated,
+            "wall": round(self.wall, 4),
+            "workers": self.workers,
+            "cell_seconds": dict(self.cell_seconds),
+            "pool_utilization": (
+                round(self.pool_utilization, 4)
+                if self.pool_utilization is not None else None
+            ),
+            "cache": self.cache.as_dict() if self.cache is not None else None,
+        }
+
+    def render(self) -> str:
+        """Human-readable stats block (one fact per line, greppable)."""
+        cs = self.cell_seconds
+        lines = [
+            f"cells   : {self.n_cells} in {self.wall:.2f}s "
+            f"({self.rate:.1f} cells/s) — "
+            f"{self.n_simulated} simulated, {self.n_cached} cached",
+            f"cell time : p50 {cs['p50']:.3f}s, p95 {cs['p95']:.3f}s, "
+            f"max {cs['max']:.3f}s (sim total {cs['total']:.2f}s)",
+        ]
+        if self.pool_utilization is not None:
+            lines.append(
+                f"workers : {self.workers}, "
+                f"utilization {100 * self.pool_utilization:.0f}%"
+            )
+        if self.cache is not None:
+            s = self.cache
+            lines.append(
+                f"cache   : {s.hits} hits, {s.misses} misses, "
+                f"{s.corrupt} corrupt"
+            )
+        return "\n".join(lines)
+
+
+def campaign_stats(
+    results: Sequence[CellResult],
+    wall: float,
+    workers: int,
+    cache_stats: Optional[CacheStats] = None,
+) -> CampaignRunStats:
+    """Compute the run-stats block from finished cell results."""
+    sim_times = [r.elapsed for r in results if not r.cached]
+    return CampaignRunStats(
+        n_cells=len(results),
+        n_cached=sum(1 for r in results if r.cached),
+        n_simulated=len(sim_times),
+        wall=wall,
+        workers=workers,
+        cell_seconds=timing_summary(sim_times),
+        pool_utilization=utilization(sum(sim_times), wall, workers),
+        cache=cache_stats,
+    )
+
+
+@dataclass
 class CampaignResult:
     """Every cell's outcome, in grid order, plus execution accounting."""
 
     spec: CampaignSpec
     results: List[CellResult] = field(default_factory=list)
     elapsed: float = 0.0
+    stats: Optional[CampaignRunStats] = None
 
     @property
     def n_cells(self) -> int:
@@ -140,6 +229,7 @@ def run_cells(
     slots: List[Optional[CellResult]] = [None] * len(cells)
     done = 0
     progress_ok = True
+    stats_base = cache.stats.snapshot() if cache is not None else None
 
     def _note(i: int, res: CellResult, source: str) -> None:
         # progress is advisory: a callback blowing up (closed pipe, UI gone)
@@ -149,7 +239,7 @@ def run_cells(
         done += 1
         if progress is not None and progress_ok:
             try:
-                progress(done, len(cells), cells[i], source)
+                progress(done, len(cells), cells[i], source, res.elapsed)
             except Exception:
                 progress_ok = False
 
@@ -205,6 +295,18 @@ def run_cells(
                         continue
                     _finish(i, metrics, dt)
 
+    if stats_base is not None:
+        window = cache.stats.since(stats_base)
+        if window.corrupt:
+            shown = ", ".join(window.corrupt_keys[:3])
+            more = ("" if window.corrupt <= 3
+                    else f" (+{window.corrupt - 3} more)")
+            log.warning(
+                "%d corrupt cache entr%s re-simulated: %s%s",
+                window.corrupt, "y" if window.corrupt == 1 else "ies",
+                shown, more,
+            )
+
     if failures:
         completed = sum(1 for r in slots if r is not None)
         detail = "; ".join(f"{c.label()}: {exc!r}" for c, exc in failures[:5])
@@ -227,11 +329,17 @@ def run_campaign(
 ) -> CampaignResult:
     """Expand a spec and run its grid through :func:`run_cells`."""
     t0 = time.perf_counter()
+    stats_base = cache.stats.snapshot() if cache is not None else None
     results = run_cells(
         spec.expand(), jobs=jobs, cache=cache, force=force, progress=progress
     )
+    elapsed = time.perf_counter() - t0
     return CampaignResult(
         spec=spec,
         results=results,
-        elapsed=time.perf_counter() - t0,
+        elapsed=elapsed,
+        stats=campaign_stats(
+            results, elapsed, max(1, jobs),
+            cache.stats.since(stats_base) if stats_base is not None else None,
+        ),
     )

@@ -13,6 +13,8 @@ Subcommands::
     repro-sched paper list                      # the artifact registry
     repro-sched paper diff --against other/manifest.json
     repro-sched policies                        # list known policies
+    repro-sched trace run --policy cons.nomax --out run.jsonl
+    repro-sched trace summarize run.jsonl       # per-policy decision summary
     repro-sched scenarios list                  # the scenario library
     repro-sched scenarios describe heavy-tail-runtimes
     repro-sched scenarios run heavy-tail-runtimes --set alpha=1.3
@@ -47,6 +49,8 @@ from .experiments.export import (
     export_suite_json,
 )
 from .experiments.runner import run_policy, run_scenario, run_suite
+from .obs import collect_counters, render_counters, setup_logging
+from .obs.stats import ProgressMeter
 from .scenarios import all_scenarios, get_scenario
 from .workload.analysis import render_analysis
 from .experiments.tables import (
@@ -100,8 +104,47 @@ def _print_policy_report(key: str, run) -> None:
 def cmd_run(args) -> int:
     wl = _load_workload(args)
     print(wl.describe())
-    run = run_policy(wl, args.policy)
-    _print_policy_report(args.policy, run)
+    if args.stats:
+        with collect_counters() as counters:
+            run = run_policy(wl, args.policy)
+        _print_policy_report(args.policy, run)
+        print("hot-path counters:")
+        print(render_counters(counters))
+    else:
+        run = run_policy(wl, args.policy)
+        _print_policy_report(args.policy, run)
+    return 0
+
+
+def cmd_trace_run(args) -> int:
+    from .obs.trace import TraceObserver, read_trace, render_summary, \
+        summarize_records
+
+    wl = _load_workload(args)
+    print(wl.describe())
+    obs = TraceObserver(args.out or None, meta={"workload": wl.name})
+    run_policy(wl, args.policy, observers=[obs])
+    if args.out:
+        records = list(read_trace(args.out))
+        print(f"wrote {args.out} ({len(records)} records)")
+    else:
+        records = list(obs.records)
+    print(render_summary(summarize_records(records)))
+    return 0
+
+
+def cmd_trace_summarize(args) -> int:
+    from .obs.trace import read_trace, render_summary, summarize_records
+
+    try:
+        summary = summarize_records(read_trace(args.trace))
+    except (OSError, ValueError) as exc:
+        print(f"[trace] {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render_summary(summary))
     return 0
 
 
@@ -193,11 +236,15 @@ def cmd_export(args) -> int:
 def cmd_sweep(args) -> int:
     spec = CampaignSpec.from_json(args.spec)
     cache = None if args.no_cache else CampaignCache(args.cache_dir)
+    meter: List[ProgressMeter] = []
 
-    def progress(done, total, cell, source):
+    def progress(done, total, cell, source, elapsed):
         if not args.quiet:
+            if not meter:
+                meter.append(ProgressMeter(total))
             tag = "cache" if source == "cache" else "run  "
-            print(f"[sweep] {done:>4}/{total} {tag} {cell.label()}", flush=True)
+            print(f"[sweep] {done:>4}/{total} {tag} {cell.label()} "
+                  f"— {meter[0].note(done)}", flush=True)
 
     result = run_campaign(
         spec,
@@ -213,6 +260,8 @@ def cmd_sweep(args) -> int:
         f"({result.n_simulated} simulated, {result.n_cached} cached) "
         f"in {result.elapsed:.1f}s with --jobs {args.jobs}"
     )
+    if args.stats and result.stats is not None:
+        print(result.stats.render())
     def _group_label(g) -> str:
         wl = g["workload"]
         head = wl.get("scenario") or wl["kind"]
@@ -326,10 +375,15 @@ def cmd_paper_build(args) -> int:
     cache = None if args.no_cache else CampaignCache(args.cache_dir)
     config = A.PaperConfig(scale=args.scale, seed=args.seed)
 
-    def progress(done, total, cell, source):
+    meter: List[ProgressMeter] = []
+
+    def progress(done, total, cell, source, elapsed):
         if not args.quiet:
+            if not meter:
+                meter.append(ProgressMeter(total))
             tag = "cache" if source == "cache" else "run  "
-            print(f"[paper] {done:>3}/{total} {tag} {cell.label()}", flush=True)
+            print(f"[paper] {done:>3}/{total} {tag} {cell.label()} "
+                  f"— {meter[0].note(done)}", flush=True)
 
     try:
         result = A.build_artifacts(
@@ -346,6 +400,8 @@ def cmd_paper_build(args) -> int:
         print(exc.args[0], file=sys.stderr)
         return 2
     plan = result.plan
+    if args.stats and result.stats is not None:
+        print(result.stats.render())
     if not args.quiet:
         for rendered in result.outputs:
             print(f"[paper] wrote {rendered.path} "
@@ -405,6 +461,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-sched",
         description="CPlant fairness case-study reproduction",
     )
+    p.add_argument("-v", "--verbose", action="count", default=0,
+                   help="more logging (-v info, -vv debug)")
+    # top-level quiet gets its own dest: `sweep`/`paper build` define a
+    # --quiet of their own whose default would clobber a shared dest
+    p.add_argument("-q", dest="log_quiet", action="count", default=0,
+                   help="less logging (errors only)")
     sub = p.add_subparsers(dest="command", required=True)
 
     g = sub.add_parser("generate", help="write a synthetic SWF trace")
@@ -416,7 +478,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_args(r)
     r.add_argument("--policy", default="cplant24.nomax.all",
                    choices=sorted(REGISTRY))
+    r.add_argument("--stats", action="store_true",
+                   help="collect and print hot-path counters")
     r.set_defaults(fn=cmd_run)
+
+    tr = sub.add_parser(
+        "trace", help="structured event tracing (JSONL) and summaries",
+    )
+    trsub = tr.add_subparsers(dest="trace_command", required=True)
+
+    trr = trsub.add_parser(
+        "run", help="simulate one policy with the trace observer attached",
+    )
+    _add_workload_args(trr)
+    trr.add_argument("--policy", default="cplant24.nomax.all",
+                     choices=sorted(REGISTRY))
+    trr.add_argument("--out", default=None,
+                     help="JSONL trace path (default: in-memory, summary only)")
+    trr.set_defaults(fn=cmd_trace_run)
+
+    trs = trsub.add_parser(
+        "summarize", help="per-policy decision summary of a JSONL trace",
+    )
+    trs.add_argument("trace", help="trace file written by `trace run --out`")
+    trs.add_argument("--json", action="store_true",
+                     help="print the summary as JSON instead of text")
+    trs.set_defaults(fn=cmd_trace_summarize)
 
     c = sub.add_parser("compare", help="simulate several policies")
     _add_workload_args(c)
@@ -463,6 +550,9 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--csv", default=None, help="aggregate CSV output path")
     sw.add_argument("--quiet", action="store_true",
                     help="suppress per-cell progress lines")
+    sw.add_argument("--stats", action="store_true",
+                    help="print the run-stats block (cache hits, cell-time "
+                         "percentiles, worker utilization)")
     sw.set_defaults(fn=cmd_sweep)
 
     pp = sub.add_parser(
@@ -496,6 +586,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="run each artifact's qualitative shape checks")
     pb.add_argument("--quiet", action="store_true",
                     help="suppress per-cell and per-artifact lines")
+    pb.add_argument("--stats", action="store_true",
+                    help="print the run-stats block (cache hits, cell-time "
+                         "percentiles, worker utilization)")
     pb.set_defaults(fn=cmd_paper_build)
 
     pl = ppsub.add_parser("list", help="list registered paper artifacts")
@@ -550,6 +643,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    setup_logging(args.verbose - args.log_quiet)
     try:
         return args.fn(args)
     except BrokenPipeError:

@@ -17,6 +17,7 @@ from __future__ import annotations
 import enum
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..obs import counters as _counters
 from .cluster import Cluster
 from .events import Event, EventKind, EventQueue
 from .job import Job, JobState
@@ -42,7 +43,13 @@ class KillPolicy(enum.Enum):
 
 
 class Observer:
-    """Passive simulation listener; all hooks are optional overrides."""
+    """Passive simulation listener; all hooks are optional overrides.
+
+    The telemetry hooks (``on_schedule_pass``, ``on_kill``,
+    ``on_chunk_chain``) are only invoked for observers that actually
+    override them — the engine detects overrides at construction, so a
+    run without tracing pays nothing for the hook points.
+    """
 
     def on_attach(self, engine: "Engine") -> None: ...
     def on_arrival(self, job: Job, now: float) -> None: ...
@@ -50,6 +57,20 @@ class Observer:
     def on_completion(self, job: Job, now: float) -> None: ...
     def on_end(self, now: float) -> None: ...
     def collect(self, result: SimulationResult) -> None: ...
+
+    # -- telemetry hooks (dispatched only to overriders) ----------------------
+
+    def on_schedule_pass(self, now: float, reason: str, queue_depth: int,
+                         running: int, free_nodes: int, started: int) -> None:
+        """After each scheduling pass: the event that triggered it
+        (``reason``), the queue/machine state it saw (snapshotted before
+        the scheduler ran), and how many jobs the pass started."""
+
+    def on_kill(self, job: Job, now: float) -> None:
+        """A running job killed by the wall-clock-limit rule."""
+
+    def on_chunk_chain(self, job: Job, successor: Job, now: float) -> None:
+        """A completed chunk submitting its chain successor."""
 
 
 class Engine:
@@ -114,6 +135,22 @@ class Engine:
         for job in self._jobs:
             if not (job.is_chunk and job.chunk_index > 0):
                 self.events.push(job.submit_time, EventKind.ARRIVAL, job)
+
+        # telemetry hook dispatch lists: only observers that override a
+        # hook are called, so the common (untraced) run never pays for
+        # the per-pass state snapshot or the extra calls
+        self._pass_observers = [
+            o for o in self.observers
+            if type(o).on_schedule_pass is not Observer.on_schedule_pass
+        ]
+        self._kill_observers = [
+            o for o in self.observers
+            if type(o).on_kill is not Observer.on_kill
+        ]
+        self._chain_observers = [
+            o for o in self.observers
+            if type(o).on_chunk_chain is not Observer.on_chunk_chain
+        ]
 
         scheduler.attach(self)
         for obs in self.observers:
@@ -184,6 +221,11 @@ class Engine:
                 f"(first: {stranded[0].id}); the policy never started them"
             )
 
+        c = _counters.ACTIVE
+        if c is not None:
+            # one batched increment at end-of-run, not one per event
+            c.hit("engine.events", self._events_processed)
+
         for obs in self.observers:
             obs.on_end(self.now)
 
@@ -235,6 +277,11 @@ class Engine:
             pending = self._completion_events.pop(job.id, None)
             if pending is not None:
                 self.events.cancel(pending)
+            c = _counters.ACTIVE
+            if c is not None:
+                c.hit("engine.wcl_kill")
+            for obs in self._kill_observers:
+                obs.on_kill(job, self.now)
             self._handle_completion(job)
         else:
             self.events.push(
@@ -265,17 +312,37 @@ class Engine:
                 )
                 if succ is not None:
                     self.events.push(self.now, EventKind.ARRIVAL, succ)
+                    c = _counters.ACTIVE
+                    if c is not None:
+                        c.hit("engine.chunk_resubmit")
+                    for obs in self._chain_observers:
+                        obs.on_chunk_chain(job, succ, self.now)
         self._run_pass("completion")
 
     def _handle_completion(self, job: Job) -> None:
         self._handle_completions([job])
 
     def _run_pass(self, reason: str) -> None:
+        pass_observers = self._pass_observers
+        if pass_observers:
+            # pre-pass snapshot: the state the scheduler is about to act on
+            queue_depth = len(self.scheduler.waiting_jobs())
+            running = self.cluster.running_count
+            free = self.cluster.free_nodes
+        c = _counters.ACTIVE
+        if c is not None:
+            c.hit("engine.schedule_pass")
         self._started_this_pass = []
         self.scheduler.schedule(self.now, reason)
         for job in self._started_this_pass:
             for obs in self.observers:
                 obs.on_start(job, self.now)
+        if pass_observers:
+            started = len(self._started_this_pass)
+            for obs in pass_observers:
+                obs.on_schedule_pass(
+                    self.now, reason, queue_depth, running, free, started
+                )
 
 
 class SchedulerProtocol:

@@ -29,6 +29,7 @@ from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import counters as _counters
 from .job import Job
 
 
@@ -81,6 +82,9 @@ class FreeTimeline:
                 by_time[now] += free
             else:
                 by_time[now] = free
+        c = _counters.ACTIVE
+        if c is not None:
+            c.hit("listsched.rebuild")
         tl = cls.__new__(cls)
         tl.size = size
         tl._times = sorted(by_time)
@@ -93,6 +97,9 @@ class FreeTimeline:
             raise ValueError(f"cannot place {nodes} nodes on {self.size}-node machine")
         if duration < 0:
             raise ValueError("duration must be >= 0")
+        c = _counters.ACTIVE
+        if c is not None:
+            c.hit("listsched.place")
         times = self._times
         counts = self._counts
         # the nodes-th smallest free time = max over the nodes earliest-free

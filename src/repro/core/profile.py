@@ -27,6 +27,8 @@ from __future__ import annotations
 from bisect import bisect_right
 from typing import Iterable, List, Tuple
 
+from ..obs import counters as _counters
+
 
 class ProfileError(RuntimeError):
     """Over-subscription or malformed interval — indicates a scheduler bug."""
@@ -69,6 +71,9 @@ class ReservationProfile:
             raise ProfileError(
                 f"occupations over-subscribe the profile: {busy} > {size}"
             )
+        c = _counters.ACTIVE
+        if c is not None:
+            c.hit("profile.from_occupations")
         p = cls.__new__(cls)
         p.size = size
         times = [origin]
@@ -130,6 +135,9 @@ class ReservationProfile:
             raise ValueError("nodes must be positive")
         if duration <= 0:
             raise ValueError("duration must be positive")
+        c = _counters.ACTIVE
+        if c is not None:
+            c.hit("profile.earliest_fit")
         times = self.times
         avail = self.avail
         if earliest < times[0]:
@@ -237,12 +245,18 @@ class ReservationProfile:
         """Commit ``nodes`` over [start, end)."""
         if nodes <= 0:
             raise ValueError("nodes must be positive")
+        c = _counters.ACTIVE
+        if c is not None:
+            c.hit("profile.reserve")
         self._apply(start, end, -nodes)
 
     def release(self, start: float, end: float, nodes: int) -> None:
         """Undo a prior ``reserve`` of the same rectangle."""
         if nodes <= 0:
             raise ValueError("nodes must be positive")
+        c = _counters.ACTIVE
+        if c is not None:
+            c.hit("profile.release")
         self._apply(start, end, +nodes)
 
     def reserve_fitted(self, start: float, end: float, nodes: int) -> None:
@@ -253,10 +267,16 @@ class ReservationProfile:
         over-subscription pre-scan is skipped.  Misuse is caught by
         :meth:`check_invariants` and the differential test suite, not here.
         """
+        c = _counters.ACTIVE
+        if c is not None:
+            c.hit("profile.reserve_fitted")
         self._apply_span(start, end, -nodes)
 
     def release_reserved(self, start: float, end: float, nodes: int) -> None:
         """Trusted fast path: undo a rectangle known to be reserved."""
+        c = _counters.ACTIVE
+        if c is not None:
+            c.hit("profile.release_reserved")
         self._apply_span(start, end, nodes)
 
     def coalesce(self) -> None:

@@ -143,8 +143,15 @@ def run_policy(
     kill_policy: KillPolicy = KillPolicy.IF_NEEDED,
     scheduler_overrides: Optional[Mapping[str, object]] = None,
     validate: bool = False,
+    observers: Optional[Sequence] = None,
 ) -> PolicyRun:
-    """Simulate one named policy on a workload and derive all metrics."""
+    """Simulate one named policy on a workload and derive all metrics.
+
+    ``observers`` appends extra engine observers (e.g. a
+    :class:`~repro.obs.trace.TraceObserver`) after the metric observers;
+    observation must never change the result (the digest tests hold
+    tracing to that).
+    """
     spec = get_policy(policy_key)
     wl = workload
     if spec.max_runtime is not None:
@@ -156,7 +163,7 @@ def run_policy(
         Cluster(wl.system_size),
         scheduler,
         wl.jobs,
-        observers=[fst_obs, loc_obs],
+        observers=[fst_obs, loc_obs, *(observers or ())],
         kill_policy=kill_policy,
         validate=validate,
     )

@@ -1,0 +1,61 @@
+"""Standard :mod:`logging` wiring for the whole package.
+
+Every module logs through a child of the ``repro`` logger::
+
+    from ..obs.log import get_logger
+    log = get_logger(__name__)
+
+and the CLI maps its top-level ``-v/--verbose`` and ``-q/--quiet`` flags
+onto :func:`setup_logging`.  Library use stays silent by default (a
+``NullHandler`` on the root ``repro`` logger), matching the stdlib
+convention — embedding applications configure handlers themselves.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO
+
+#: root logger name for the package
+ROOT_LOGGER = "repro"
+
+#: verbosity steps for :func:`setup_logging` (0 is the CLI default)
+_LEVELS = {-1: logging.ERROR, 0: logging.WARNING, 1: logging.INFO, 2: logging.DEBUG}
+
+# library default: never emit "No handlers could be found" noise
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the package root.
+
+    Dotted module names (``repro.campaign.cache``) pass through; anything
+    else is nested under ``repro.``.
+    """
+    if not name or name == ROOT_LOGGER:
+        return logging.getLogger(ROOT_LOGGER)
+    if name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def setup_logging(verbosity: int = 0, stream: Optional[TextIO] = None) -> logging.Logger:
+    """Configure the package logger for CLI use.
+
+    ``verbosity`` is (count of ``-v``) minus (count of ``-q``), clamped to
+    [-1, 2]: -1 errors only, 0 warnings (default), 1 info, 2 debug.
+    Re-running replaces the previous CLI handler instead of stacking, so
+    tests can call it repeatedly.
+    """
+    verbosity = max(-1, min(2, verbosity))
+    root = logging.getLogger(ROOT_LOGGER)
+    root.setLevel(_LEVELS[verbosity])
+    for h in list(root.handlers):
+        if getattr(h, "_repro_cli", False):
+            root.removeHandler(h)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler._repro_cli = True  # type: ignore[attr-defined]
+    handler.setFormatter(logging.Formatter("[%(name)s] %(levelname)s: %(message)s"))
+    root.addHandler(handler)
+    return root

@@ -20,6 +20,7 @@ from typing import List, Optional
 from ..core.engine import Engine, SchedulerProtocol
 from ..core.events import EventKind
 from ..core.job import Job
+from ..obs import counters as _counters
 from .fairshare import DAY, FairshareTracker
 from .queues import OrderingPolicy, fcfs_order, make_fairshare_order
 
@@ -96,6 +97,9 @@ class BaseScheduler(SchedulerProtocol):
         """Start a queued job: allocate, charge usage, drop from the queue."""
         if not _remove_identical(self.queue, job):
             raise ValueError(f"job {job.id} is not queued")
+        c = _counters.ACTIVE
+        if c is not None:
+            c.hit("sched.start")
         self._drop_from_order(job)
         self.engine.start_job(job)
         self.tracker.job_started(job, now)
@@ -119,8 +123,13 @@ class BaseScheduler(SchedulerProtocol):
             version = self.tracker.usage_version
         else:
             version = 0  # fcfs: order depends only on membership
+        c = _counters.ACTIVE
         if self._order_cache is not None and self._order_version == version:
+            if c is not None:
+                c.hit("sched.order_cache_hit")
             return self._order_cache
+        if c is not None:
+            c.hit("sched.order_sort")
         self._order_cache = self.ordering(self.queue, now)
         self._order_version = version
         return self._order_cache

@@ -39,6 +39,7 @@ from typing import Dict, List, Tuple
 
 from ..core.job import Job
 from ..core.profile import ReservationProfile
+from ..obs import counters as _counters
 from .base import BaseScheduler
 
 #: float-comparison slack for "reservation time has arrived"
@@ -85,6 +86,9 @@ class ConservativeScheduler(BaseScheduler):
         self.profile.reserve_fitted(start, end, job.nodes)
         self.reservations[job.id] = (start, end)
         heappush(self._res_heap, (start, job.id))
+        c = _counters.ACTIVE
+        if c is not None:
+            c.hit("cons.heap_push")
 
     def start(self, job: Job, now: float) -> None:
         # the reservation interval simply becomes the running occupation
@@ -95,6 +99,9 @@ class ConservativeScheduler(BaseScheduler):
             )
         self.predicted_end[job.id] = res_end
         heappush(self._end_heap, (res_end, job.id))
+        c = _counters.ACTIVE
+        if c is not None:
+            c.hit("cons.heap_push")
         super().start(job, now)
 
     def on_completion(self, job: Job, now: float) -> None:
@@ -111,8 +118,13 @@ class ConservativeScheduler(BaseScheduler):
         self.profile.advance(now)
         if self._has_overrun(now) or self._has_overdue(now):
             self._rebuild(now)
-        elif reason == "completion" and self._holes_dirty:
-            self._improve(now)
+        elif reason == "completion":
+            if self._holes_dirty:
+                self._improve(now)
+            else:
+                c = _counters.ACTIVE
+                if c is not None:
+                    c.hit("cons.compress_skipped")
         self._start_due(now)
 
     def _has_overrun(self, now: float) -> bool:
@@ -158,18 +170,23 @@ class ConservativeScheduler(BaseScheduler):
 
     def _compact_heaps(self) -> None:
         """Drop accumulated stale entries so rebuild-heavy runs stay lean."""
+        c = _counters.ACTIVE
         if len(self._end_heap) > 2 * len(self.predicted_end) + 64:
             self._end_heap = [
                 (pe, jid) for pe, jid in self._end_heap
                 if self.predicted_end.get(jid) == pe
             ]
             self._end_heap.sort()
+            if c is not None:
+                c.hit("cons.heap_compact")
         if len(self._res_heap) > 2 * len(self.reservations) + 64:
             self._res_heap = [
                 (s, jid) for s, jid in self._res_heap
                 if (r := self.reservations.get(jid)) is not None and r[0] == s
             ]
             self._res_heap.sort()
+            if c is not None:
+                c.hit("cons.heap_compact")
 
     def _rebuild(self, now: float) -> None:
         """Recompute the whole profile: running occupations with refreshed
@@ -191,12 +208,19 @@ class ConservativeScheduler(BaseScheduler):
             heappush(res_heap, (start, job.id))
         self.reservations = reservations
         self._holes_dirty = False
+        c = _counters.ACTIVE
+        if c is not None:
+            c.hit("cons.rebuild")
+            c.hit("cons.heap_push", len(reservations))
         self._compact_heaps()
 
     def _improve(self, now: float) -> None:
         """Compression: each job re-places into the earliest fit, in priority
         order.  Removing a reservation before re-placing guarantees the new
         start is never later than the old one."""
+        c = _counters.ACTIVE
+        if c is not None:
+            c.hit("cons.compress")
         profile = self.profile
         reservations = self.reservations
         moved = False
@@ -214,6 +238,8 @@ class ConservativeScheduler(BaseScheduler):
             if start != old_start:
                 reservations[job.id] = (start, end)
                 heappush(self._res_heap, (start, job.id))
+                if c is not None:
+                    c.hit("cons.heap_push")
                 moved = True
         # if nobody moved, every job is provably at its earliest fit given
         # the others; future passes are no-ops until the next release
@@ -232,6 +258,11 @@ class ConservativeScheduler(BaseScheduler):
         due.sort(key=lambda j: (reservations[j.id][0], j.submit_time, j.id))
         for job in due:
             if not self.cluster.fits(job):
+                if reservations[job.id][0] > now:
+                    # due only through the EPS slack: the reservation sits
+                    # a hair in the future and the freeing completion has
+                    # not fired yet; the pass at that event starts it
+                    continue
                 raise RuntimeError(
                     f"profile/cluster disagree: job {job.id} reserved at "
                     f"{reservations[job.id][0]} but only "

@@ -70,4 +70,9 @@ class DynamicReservationScheduler(BaseScheduler):
             if start <= now + EPS:
                 to_start.append(job)
         for job in to_start:
+            if self.last_reservations[job.id] > now and not self.cluster.fits(job):
+                # startable only through the EPS slack: the freeing
+                # completion sits a hair in the future; the pass at that
+                # event re-places and starts it
+                continue
             self.start(job, now)

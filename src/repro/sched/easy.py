@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Iterable, Tuple
 
 from ..core.job import Job
+from ..obs import counters as _counters
 from .base import BaseScheduler
 
 
@@ -84,6 +85,9 @@ class EasyBackfillScheduler(BaseScheduler):
                 if not self.cluster.fits(job):
                     continue
                 if now + job.wcl <= shadow or job.nodes <= extra:
+                    c = _counters.ACTIVE
+                    if c is not None:
+                        c.hit("sched.backfill_start")
                     self.start(job, now)
                     started = True
                     break  # shadow/extra changed; recompute from scratch

@@ -18,6 +18,7 @@ from collections import defaultdict
 from typing import Dict, Iterable, Tuple
 
 from ..core.job import Job
+from ..obs import counters as _counters
 
 #: seconds per day — the decay cadence the paper states.
 DAY = 86_400.0
@@ -56,11 +57,17 @@ class FairshareTracker:
                     if procs:
                         usage[user] += procs * dt
                 self.usage_version += 1
+                c = _counters.ACTIVE
+                if c is not None:
+                    c.hit("fairshare.settle")
             self._last_settle = now
 
     def decay(self, now: float) -> None:
         """Apply one multiplicative decay tick (call every 24 h)."""
         self.settle(now)
+        c = _counters.ACTIVE
+        if c is not None:
+            c.hit("fairshare.decay")
         if self.decay_factor == 1.0:
             return
         if self._usage:

@@ -24,6 +24,7 @@ from typing import List
 
 from ..core.events import EventKind
 from ..core.job import Job, JobState
+from ..obs import counters as _counters
 from .base import BaseScheduler, _remove_identical
 from .easy import head_reservation
 
@@ -107,6 +108,9 @@ class NoGuaranteeScheduler(BaseScheduler):
         if job.id in self._starved_ids:
             self._starved_ids.discard(job.id)
             _remove_identical(self.starvation_queue, job)
+            c = _counters.ACTIVE
+            if c is not None:
+                c.hit("sched.start")
             self.engine.start_job(job)
             self.tracker.job_started(job, now)
         else:
@@ -131,6 +135,9 @@ class NoGuaranteeScheduler(BaseScheduler):
                 if not self.cluster.fits(job):
                     continue
                 if now + job.wcl <= shadow or job.nodes <= extra:
+                    c = _counters.ACTIVE
+                    if c is not None:
+                        c.hit("sched.backfill_start")
                     self.start(job, now)
                     return True
             return False

@@ -241,12 +241,13 @@ class TestExecutor:
         events = []
         run_campaign(
             small_spec(), jobs=1, cache=None,
-            progress=lambda done, total, cell, source: events.append(
-                (done, total, source)),
+            progress=lambda done, total, cell, source, elapsed: events.append(
+                (done, total, source, elapsed)),
         )
         assert len(events) == 4
         assert events[-1][:2] == (4, 4)
-        assert all(src == "run" for _, _, src in events)
+        assert all(src == "run" for _, _, src, _ in events)
+        assert all(elapsed > 0 for _, _, _, elapsed in events)
 
     def test_failing_cell_names_culprit_and_keeps_completed_cells(
             self, tmp_path, monkeypatch):
@@ -269,7 +270,7 @@ class TestExecutor:
         assert len(cache) == 1  # the healthy cell's metrics were kept
 
     def test_raising_progress_callback_does_not_abort(self, tmp_path):
-        def bad_progress(done, total, cell, source):
+        def bad_progress(done, total, cell, source, elapsed):
             raise BrokenPipeError("stdout went away")
 
         cache = CampaignCache(tmp_path / "cache")

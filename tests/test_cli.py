@@ -11,7 +11,7 @@ class TestParser:
         sub = {a.dest: a for a in parser._actions}["command"]
         assert set(sub.choices) == {
             "generate", "run", "compare", "figures", "tables", "policies",
-            "analyze", "export", "sweep", "scenarios", "paper",
+            "analyze", "export", "sweep", "scenarios", "paper", "trace",
         }
 
     def test_run_rejects_unknown_policy(self):

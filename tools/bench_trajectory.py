@@ -61,10 +61,24 @@ def policy_rows(report: dict):
     return rows
 
 
+def counter_line(rec: dict, top: int = 4) -> str:
+    """Compact one-line view of a record's hot-path counters, if any."""
+    counts = rec.get("counters")
+    if not counts:
+        return ""
+    ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    shown = ", ".join(f"{name}={value:,}" for name, value in ranked[:top])
+    extra = len(ranked) - top
+    if extra > 0:
+        shown += f" (+{extra} more)"
+    return shown
+
+
 def render(reports) -> str:
     lines = []
     for pr, path, report in reports:
         meta = report.get("post") or report.get("baseline") or {}
+        post = report.get("post", {}).get("policies", {})
         lines.append(
             f"== {path.name} (PR {pr}, scale={meta.get('scale', '?')}, "
             f"{meta.get('n_jobs', '?')} jobs) =="
@@ -78,6 +92,9 @@ def render(reports) -> str:
                 f"{policy:24s} {fmt(b):>10s} {fmt(p):>10s} "
                 f"{fmt(s, 'x'):>8s}  {digest}"
             )
+            counters = counter_line(post.get(policy, {}))
+            if counters:
+                lines.append(f"{'':24s} counters: {counters}")
         lines.append("")
     return "\n".join(lines)
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Docs-consistency checks (run by the CI `docs` job and usable locally).
 
-Four checks:
+Five checks:
 
 1. **Scenario catalog** — every scenario registered in
    ``repro.scenarios`` must appear (as `` `name` ``) in
@@ -16,6 +16,10 @@ Four checks:
 4. **Pipeline docs** — docs/PIPELINE.md must document every artifact
    registered in ``repro.artifacts`` (as `` `id` ``) plus the build
    CLI and manifest, so the paper-artifact catalog cannot drift.
+5. **Observability docs** — docs/OBSERVABILITY.md must document every
+   counter in ``repro.obs.counters.CATALOG`` (as `` `name` ``) and the
+   trace/stats entry points, and docs/ARCHITECTURE.md must carry an
+   Observability section, so the telemetry catalog cannot drift.
 
 Exit status 0 = consistent; 1 = problems (all listed on stderr).
 
@@ -117,9 +121,35 @@ def check_pipeline_docs() -> list[str]:
     return problems
 
 
+def check_observability_docs() -> list[str]:
+    from repro.obs.counters import CATALOG_NAMES
+
+    doc_path = ROOT / "docs" / "OBSERVABILITY.md"
+    if not doc_path.is_file():
+        return ["missing docs/OBSERVABILITY.md"]
+    doc = doc_path.read_text()
+    problems = [
+        f"docs/OBSERVABILITY.md: registered counter `{name}` is not documented"
+        for name in CATALOG_NAMES
+        if f"`{name}`" not in doc
+    ]
+    for needle in ("repro trace run", "repro trace summarize", "--stats"):
+        if needle not in doc:
+            problems.append(
+                f"docs/OBSERVABILITY.md: does not mention `{needle}`"
+            )
+    arch = ROOT / "docs" / "ARCHITECTURE.md"
+    if not arch.is_file() or "## Observability" not in arch.read_text():
+        problems.append(
+            "docs/ARCHITECTURE.md: missing a '## Observability' section"
+        )
+    return problems
+
+
 def main() -> int:
     problems = (check_scenario_catalog() + check_links()
-                + check_performance_docs() + check_pipeline_docs())
+                + check_performance_docs() + check_pipeline_docs()
+                + check_observability_docs())
     for p in problems:
         print(f"[check-docs] {p}", file=sys.stderr)
     if problems:
