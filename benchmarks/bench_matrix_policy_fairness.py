@@ -1,0 +1,16 @@
+"""Fairness matrix: policy x hybrid-FST reference order.
+
+Thin shim: the data projection, renderer, and the exact-fairness check
+(FCFS-no-backfill must be perfectly fair under the FCFS reference order)
+are registered in ``repro.artifacts.registry`` ("matrix");
+``repro paper build --only matrix`` builds the same artifact through the
+content-addressed cell cache, and ``repro matrix`` sweeps it across
+scenarios.
+"""
+
+from repro.artifacts.shim import bench_shim, main_shim
+
+test_matrix_policy_fairness = bench_shim("matrix")
+
+if __name__ == "__main__":
+    raise SystemExit(main_shim("matrix"))

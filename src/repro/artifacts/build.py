@@ -33,7 +33,6 @@ from ..campaign.executor import (
     run_cells,
 )
 from ..campaign.spec import CampaignCell, WorkloadSpec
-from ..experiments.runner import RunOptions
 from ..workload.model import Workload
 from .registry import select_artifacts
 from .spec import (
@@ -97,8 +96,10 @@ class BuildPlan:
     cells: List[CampaignCell]
     #: cache key per cell, aligned with ``cells``
     keys: List[str]
-    #: policy key -> cache key (the per-artifact input digests)
-    key_by_policy: Dict[str, str]
+    #: artifact id -> policy key -> cache key (the per-artifact input
+    #: digests; artifacts may run the same policy under different options,
+    #: so the mapping cannot be flattened across the selection)
+    cell_keys: Dict[str, Dict[str, str]]
     needs_workload: bool
 
     @property
@@ -121,28 +122,29 @@ def plan_build(
     cfg = config or PaperConfig()
     artifacts = select_artifacts(only)
     wspec = cfg.workload_spec()
-    options = RunOptions()
     cells: List[CampaignCell] = []
     keys: List[str] = []
-    key_by_policy: Dict[str, str] = {}
+    cell_keys: Dict[str, Dict[str, str]] = {}
     seen: Dict[str, int] = {}
     for art in artifacts:
+        by_policy = cell_keys.setdefault(art.id, {})
         for policy in art.policies:
             cell = CampaignCell(
-                workload=wspec, seed=cfg.seed, policy=policy, options=options
+                workload=wspec, seed=cfg.seed, policy=policy,
+                options=art.options,
             )
             key = cell_key(cell)
             if key not in seen:
                 seen[key] = len(cells)
                 cells.append(cell)
                 keys.append(key)
-            key_by_policy[policy] = key
+            by_policy[policy] = key
     return BuildPlan(
         config=cfg,
         artifacts=artifacts,
         cells=cells,
         keys=keys,
-        key_by_policy=key_by_policy,
+        cell_keys=cell_keys,
         needs_workload=any(a.needs_workload for a in artifacts),
     )
 
@@ -204,13 +206,19 @@ def build_artifacts(
         plan.cells, jobs=jobs, cache=cache, force=force, progress=progress
     )
     cell_wall = time.perf_counter() - t0
-    suite = {r.cell.policy: RecordRun(r.cell.policy, r.metrics) for r in results}
+    # the same policy may appear under different options across artifacts,
+    # so suites are assembled per artifact from the content-addressed keys
+    by_key = {r.key: r.metrics for r in results}
 
     workload = plan.config.build_workload() if (plan.needs_workload or check) else None
     shape = workload is not None and len(workload) >= SHAPE_MIN_JOBS
     wl_digest = workload.content_digest() if plan.needs_workload else None
 
     def _render(art: Artifact) -> Tuple[ArtifactOutput, str]:
+        suite = {
+            policy: RecordRun(policy, by_key[key])
+            for policy, key in plan.cell_keys[art.id].items()
+        }
         inputs = ArtifactInputs(
             suite=suite_subset(suite, art.policies),
             workload=workload if art.needs_workload else None,
@@ -264,7 +272,7 @@ def manifest_doc(
     for rendered in outputs:
         art = rendered.artifact
         inputs: Dict[str, object] = {
-            "cells": {p: plan.key_by_policy[p] for p in art.policies}
+            "cells": {p: plan.cell_keys[art.id][p] for p in art.policies}
         }
         if art.needs_workload:
             inputs["workload"] = workload_digest

@@ -20,8 +20,15 @@ import numpy as np
 
 from ..experiments import figures as F
 from ..experiments import tables as T
+from ..experiments.matrix import (
+    MATRIX_REFERENCE_ORDERS,
+    matrix_from_suite,
+    render_matrix_rows,
+)
+from ..experiments.runner import RunOptions
 from ..sched.registry import (
     CONSERVATIVE_POLICIES,
+    MATRIX_POLICIES,
     MINOR_POLICIES,
     PAPER_POLICIES,
 )
@@ -515,5 +522,52 @@ register(
         render=T.render_table2,
         needs_workload=True,
         check=_table2_check,
+    )
+)
+
+
+# -- the fairness matrix: policy x reference order (extension) -----------------
+
+
+def _matrix_data(inp: ArtifactInputs):
+    return matrix_from_suite(inp.suite, MATRIX_REFERENCE_ORDERS)
+
+
+def _matrix_render(rows) -> str:
+    out = [
+        "Fairness matrix: policy x hybrid-FST reference order "
+        "(shared CPlant trace)",
+        "(cell: % of jobs missing their FST | average miss time, hours)",
+        "",
+    ]
+    out.extend(
+        render_matrix_rows(rows, MATRIX_REFERENCE_ORDERS,
+                           policies=MATRIX_POLICIES)
+    )
+    return "\n".join(out)
+
+
+def _matrix_check(rows, shape: bool) -> None:
+    for by_order in rows.values():
+        for block in by_order.values():
+            assert 0.0 <= block["percent_unfair"] <= 1.0
+            assert block["average_miss_time"] >= 0.0
+            assert block["n_jobs"] > 0
+    # with perfect estimates, strict FCFS-no-backfill *is* the FCFS-order
+    # hypothetical schedule, so it must be exactly fair under that order
+    assert rows["fcfs.nobackfill"]["fcfs"]["n_unfair"] == 0
+
+
+register(
+    Artifact(
+        id="matrix",
+        kind="table",
+        title="policy x reference-order fairness matrix",
+        output="matrix_policy_fairness.txt",
+        data=_matrix_data,
+        render=_matrix_render,
+        policies=MATRIX_POLICIES,
+        check=_matrix_check,
+        options=RunOptions(reference_orders=MATRIX_REFERENCE_ORDERS),
     )
 )

@@ -30,9 +30,36 @@ from typing import Callable, List, Optional
 
 from ..campaign.cache import CampaignCache
 from ..experiments.config import BenchConfig
+from ..experiments.runner import RunOptions, cached_suite
 from .build import PaperConfig, build_artifacts
 from .registry import get_artifact
 from .spec import ArtifactInputs
+
+
+def _artifact_suite(art, request):
+    """The run suite an artifact's data function consumes.
+
+    Artifacts on the paper's default configuration share the session-scoped
+    nine-policy ``suite`` fixture; artifacts with their own options (e.g.
+    the fairness matrix's extra reference orders) simulate their own cells
+    — memoized via :func:`cached_suite`, so repeated benchmark runs in one
+    session pay once.
+    """
+    if not art.policies:
+        return {}
+    if art.options == RunOptions():
+        return request.getfixturevalue("suite")
+    opts = art.options
+    return cached_suite(
+        request.getfixturevalue("workload"),
+        art.policies,
+        estimate_mode=opts.estimate_mode,
+        epsilon=opts.epsilon,
+        kill_policy=opts.kill_policy,
+        scheduler_overrides=opts.scheduler_overrides,
+        validate=opts.validate,
+        reference_orders=opts.reference_orders,
+    )
 
 
 def bench_shim(artifact_id: str) -> Callable:
@@ -42,7 +69,7 @@ def bench_shim(artifact_id: str) -> Callable:
     def test(benchmark, request, emit, shape):
         needs = art.needs_workload
         workload = request.getfixturevalue("workload") if needs else None
-        suite = request.getfixturevalue("suite") if art.policies else {}
+        suite = _artifact_suite(art, request)
         inputs = ArtifactInputs(suite=suite, workload=workload)
         data = benchmark(art.data, inputs)
         emit(art.stem, art.render(data))

@@ -23,11 +23,12 @@ written once and the rendering is byte-identical across paths.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
+from ..experiments.runner import RunOptions
 from ..metrics.weekly import WeeklySeries
 from ..workload.model import Workload
 
@@ -59,6 +60,11 @@ class RecordRun:
     @property
     def percent_unfair(self) -> float:
         return float(self.record["fairness"]["percent_unfair"])
+
+    @property
+    def fairness_by_order(self) -> Dict[str, Dict[str, float]]:
+        """Per-reference-order fairness blocks (empty for default runs)."""
+        return dict(self.record.get("fairness_by_order") or {})
 
     @property
     def average_miss_time(self) -> float:
@@ -109,11 +115,14 @@ class Artifact:
     """One paper figure/table as a declarative build target.
 
     ``policies`` are the simulation cells the artifact requires (empty
-    for workload-characterization artifacts); ``data`` projects inputs
-    into plain data; ``render`` turns that data into the output text;
-    ``check`` optionally asserts the paper's qualitative shape (given
-    whether the trace is large enough for shape assertions to be
-    meaningful).
+    for workload-characterization artifacts); ``options`` the engine
+    options those cells run under (the default is the paper's pinned
+    configuration — artifacts needing e.g. extra hybrid-FST reference
+    orders declare it here and the planner keys their cells separately);
+    ``data`` projects inputs into plain data; ``render`` turns that data
+    into the output text; ``check`` optionally asserts the paper's
+    qualitative shape (given whether the trace is large enough for shape
+    assertions to be meaningful).
     """
 
     id: str
@@ -125,6 +134,7 @@ class Artifact:
     policies: Tuple[str, ...] = ()
     needs_workload: bool = False
     check: Optional[Callable[[object, bool], None]] = None
+    options: RunOptions = field(default_factory=RunOptions)
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:

@@ -12,6 +12,7 @@ Subcommands::
     repro-sched paper build --only fig08,table1
     repro-sched paper list                      # the artifact registry
     repro-sched paper diff --against other/manifest.json
+    repro-sched matrix    --scale 0.02          # policy x reference-order fairness
     repro-sched policies                        # list known policies
     repro-sched trace run --policy cons.nomax --out run.jsonl
     repro-sched trace summarize run.jsonl       # per-policy decision summary
@@ -291,6 +292,59 @@ def cmd_sweep(args) -> int:
     if args.csv:
         export_campaign_csv(aggregate_rows(doc), args.csv)
         wrote.append(args.csv)
+    for path in wrote:
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_matrix(args) -> int:
+    from .experiments.matrix import MatrixConfig, run_matrix
+
+    try:
+        cfg = MatrixConfig(
+            policies=tuple(args.policies.split(","))
+            if args.policies else MatrixConfig.policies,
+            reference_orders=tuple(args.orders.split(","))
+            if args.orders else MatrixConfig.reference_orders,
+            scenarios=tuple(args.scenarios.split(","))
+            if args.scenarios else MatrixConfig.scenarios,
+            scale=args.scale,
+            seed=args.seed,
+        )
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else CampaignCache(args.cache_dir)
+    meter: List[ProgressMeter] = []
+
+    def progress(done, total, cell, source, elapsed):
+        if not args.quiet:
+            if not meter:
+                meter.append(ProgressMeter(total))
+            tag = "cache" if source == "cache" else "run  "
+            print(f"[matrix] {done:>3}/{total} {tag} {cell.label()} "
+                  f"— {meter[0].note(done)}", flush=True)
+
+    result = run_matrix(
+        cfg, jobs=args.jobs, cache=cache, force=args.force, progress=progress,
+    )
+    text = result.render()
+    print(text)
+    print(
+        f"\nmatrix: {len(result.results)} cells "
+        f"({result.n_simulated} simulated, {result.n_cached} cached) "
+        f"— {len(cfg.policies)} policies x {len(cfg.reference_orders)} "
+        f"orders x {len(cfg.scenarios)} scenarios"
+    )
+    wrote = []
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        wrote.append(args.out)
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(result.doc(), indent=2, sort_keys=True) + "\n"
+        )
+        wrote.append(args.json)
     for path in wrote:
         print(f"wrote {path}")
     return 0
@@ -603,6 +657,38 @@ def build_parser() -> argparse.ArgumentParser:
     pd.add_argument("--against", default=None,
                     help="second manifest.json to compare against")
     pd.set_defaults(fn=cmd_paper_diff)
+
+    mx = sub.add_parser(
+        "matrix",
+        help="policy x reference-order fairness matrix (cached sweep)",
+    )
+    mx.add_argument("--policies", default=None,
+                    help="comma-separated policy keys "
+                         "(default: the registry's matrix frontier)")
+    mx.add_argument("--orders", default=None,
+                    help="comma-separated hybrid-FST reference orders "
+                         "(default: fairshare,fcfs,shortest-first)")
+    mx.add_argument("--scenarios", default=None,
+                    help="comma-separated scenario names "
+                         "(default: cplant-baseline)")
+    mx.add_argument("--scale", type=float, default=0.05,
+                    help="scenario trace scale")
+    mx.add_argument("--seed", type=int, default=7, help="generator seed")
+    mx.add_argument("--jobs", type=int, default=1,
+                    help="worker processes (1 = run inline, no pool)")
+    mx.add_argument("--cache-dir", default=None,
+                    help="cache root (default ~/.cache/repro-campaign)")
+    mx.add_argument("--no-cache", action="store_true",
+                    help="neither read nor write the on-disk cache")
+    mx.add_argument("--force", action="store_true",
+                    help="ignore cached cells but still refresh them")
+    mx.add_argument("--out", default=None,
+                    help="write the rendered matrix to a text file")
+    mx.add_argument("--json", default=None,
+                    help="write the matrix document as sorted JSON")
+    mx.add_argument("--quiet", action="store_true",
+                    help="suppress per-cell progress lines")
+    mx.set_defaults(fn=cmd_matrix)
 
     ls = sub.add_parser("policies", help="list known policies")
     ls.set_defaults(fn=cmd_policies)

@@ -28,7 +28,7 @@ def policy_run_record(run: PolicyRun) -> Dict[str, object]:
     round trip exactly, keeping renderings byte-identical).
     """
     weekly = run.weekly
-    return {
+    out: Dict[str, object] = {
         "policy": run.policy,
         "summary": run.summary.as_dict(),
         "fairness": run.fairness.as_dict(),
@@ -45,6 +45,14 @@ def policy_run_record(run: PolicyRun) -> Dict[str, object]:
             "utilization": [float(x) for x in weekly.utilization],
         },
     }
+    if run.fairness_by_order is not None:
+        # only multi-reference-order runs carry this block, so records of
+        # the paper's default configuration keep their historical shape
+        out["fairness_by_order"] = {
+            name: stats.as_dict()
+            for name, stats in sorted(run.fairness_by_order.items())
+        }
+    return out
 
 
 def export_suite_json(suite: Mapping[str, PolicyRun], path: PathLike) -> None:

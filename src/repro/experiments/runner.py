@@ -57,6 +57,10 @@ class PolicyRun:
     turnaround_by_width: np.ndarray
     metric_jobs: Optional[List] = None
     fst: Optional[Dict[int, float]] = None
+    #: fairness recomputed against each requested reference order (the
+    #: policy x reference-order matrix); populated only when a run asks
+    #: for orders beyond the default fairshare basis
+    fairness_by_order: Optional[Dict[str, FairnessStats]] = None
 
     @property
     def percent_unfair(self) -> float:
@@ -95,6 +99,11 @@ class RunOptions:
     kill_policy: KillPolicy = KillPolicy.IF_NEEDED
     scheduler_overrides: Tuple[Tuple[str, object], ...] = ()
     validate: bool = False
+    #: hybrid-FST reference orders to evaluate; the first-position
+    #: fairshare default is the paper's configuration and is deliberately
+    #: *omitted* from :meth:`identity` so pre-existing cache keys (and the
+    #: digest oracle) are untouched by the matrix extension
+    reference_orders: Tuple[str, ...] = ("fairshare",)
 
     def __post_init__(self) -> None:
         if isinstance(self.kill_policy, str):
@@ -106,16 +115,23 @@ class RunOptions:
             "scheduler_overrides",
             tuple(sorted(dict(self.scheduler_overrides).items())),
         )
+        orders = self.reference_orders
+        if isinstance(orders, str):
+            orders = (orders,)
+        object.__setattr__(self, "reference_orders", tuple(orders))
 
     def identity(self) -> Dict[str, object]:
         """JSON-safe canonical form (stable across processes and runs)."""
-        return {
+        out: Dict[str, object] = {
             "estimate_mode": self.estimate_mode,
             "epsilon": self.epsilon,
             "kill_policy": self.kill_policy.name,
             "scheduler_overrides": dict(self.scheduler_overrides),
             "validate": self.validate,
         }
+        if self.reference_orders != ("fairshare",):
+            out["reference_orders"] = list(self.reference_orders)
+        return out
 
 
 def run_policy_with_options(
@@ -132,7 +148,23 @@ def run_policy_with_options(
         kill_policy=options.kill_policy,
         scheduler_overrides=dict(options.scheduler_overrides) or None,
         validate=options.validate,
+        reference_orders=options.reference_orders,
     )
+
+
+def _collapse_chunk_fst(
+    result_jobs, fst: Dict[int, float], split: bool
+) -> Dict[int, float]:
+    """FSTs per *trace* job: a chunk chain inherits its first chunk's FST."""
+    if not split:
+        return fst
+    out: Dict[int, float] = {}
+    for j in result_jobs:
+        if not j.is_chunk:
+            out[j.id] = fst[j.id]
+        elif j.chunk_index == 0:
+            out[j.parent_id] = fst[j.id]
+    return out
 
 
 def run_policy(
@@ -144,6 +176,7 @@ def run_policy(
     scheduler_overrides: Optional[Mapping[str, object]] = None,
     validate: bool = False,
     observers: Optional[Sequence] = None,
+    reference_orders: Optional[Sequence[str]] = None,
 ) -> PolicyRun:
     """Simulate one named policy on a workload and derive all metrics.
 
@@ -151,19 +184,30 @@ def run_policy(
     :class:`~repro.obs.trace.TraceObserver`) after the metric observers;
     observation must never change the result (the digest tests hold
     tracing to that).
+
+    ``reference_orders`` evaluates the hybrid FST against additional
+    "socially just" orders in the *same* simulation (observers are free to
+    stack because they never influence scheduling); the primary
+    ``fairness`` block always uses the paper's fairshare basis, and
+    per-order stats land in :attr:`PolicyRun.fairness_by_order`.
     """
     spec = get_policy(policy_key)
+    orders = tuple(reference_orders) if reference_orders else ("fairshare",)
     wl = workload
     if spec.max_runtime is not None:
         wl = split_by_runtime_limit(workload, spec.max_runtime)
     scheduler = spec.make_scheduler(**dict(scheduler_overrides or {}))
     fst_obs = HybridFSTObserver(estimate_mode)
     loc_obs = LossOfCapacityObserver()
+    extra_fst_obs = [
+        HybridFSTObserver(estimate_mode, basis=o)
+        for o in orders if o != "fairshare"
+    ]
     engine = Engine(
         Cluster(wl.system_size),
         scheduler,
         wl.jobs,
-        observers=[fst_obs, loc_obs, *(observers or ())],
+        observers=[fst_obs, loc_obs, *extra_fst_obs, *(observers or ())],
         kill_policy=kill_policy,
         validate=validate,
     )
@@ -175,19 +219,22 @@ def run_policy(
     # For runtime-limit policies the scheduler saw chunks; collapse them:
     # the trace job's start is its first chunk's start, its completion the
     # last chunk's, and its FST the one observed at first-chunk arrival.
-    if spec.max_runtime is not None:
-        metric_jobs = parent_view(result.jobs)
-        metric_fst: Dict[int, float] = {}
-        for j in result.jobs:
-            if not j.is_chunk:
-                metric_fst[j.id] = fst[j.id]
-            elif j.chunk_index == 0:
-                metric_fst[j.parent_id] = fst[j.id]
-    else:
-        metric_jobs = result.jobs
-        metric_fst = fst
+    split = spec.max_runtime is not None
+    metric_jobs = parent_view(result.jobs) if split else result.jobs
+    metric_fst = _collapse_chunk_fst(result.jobs, fst, split)
 
     stats = fairness_stats(metric_jobs, metric_fst, epsilon=epsilon)
+    by_order: Optional[Dict[str, FairnessStats]] = None
+    if orders != ("fairshare",):
+        by_order = {}
+        for o in orders:
+            if o == "fairshare":
+                by_order[o] = stats
+                continue
+            ofst = _collapse_chunk_fst(
+                result.jobs, result.fst(f"hybrid_{o}"), split
+            )
+            by_order[o] = fairness_stats(metric_jobs, ofst, epsilon=epsilon)
     # user metrics over trace jobs; system metrics over the raw schedule
     # (a collapsed parent spans its inter-chunk waits, which must not count
     # as executed work)
@@ -209,6 +256,7 @@ def run_policy(
         turnaround_by_width=average_turnaround_by_width(metric_jobs),
         metric_jobs=metric_jobs,
         fst=metric_fst,
+        fairness_by_order=by_order,
     )
 
 

@@ -25,7 +25,7 @@ misses its FST by more than ``epsilon``; average miss time is Eq. 5
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -40,6 +40,88 @@ DEFAULT_EPSILON = 1.0
 
 
 # --------------------------------------------------------------------------
+# pluggable "socially just" reference orders
+# --------------------------------------------------------------------------
+#
+# The paper's conclusion invites exactly this: "the fairness metric can be
+# modified in a similar way to measure fairness via other alternative
+# fairness priorities."  A reference order is the priority of the
+# hypothetical no-backfill schedule the hybrid FST is computed against;
+# swapping it answers "fair according to whom" — seniority (FCFS), decayed
+# usage (fairshare), or job size (shortest-first, the size-based school of
+# Dell'Amico et al.).
+
+@dataclass(frozen=True)
+class ReferenceOrder:
+    """One named reference order for the hybrid-FST hypothetical schedule.
+
+    ``order(ctx, jobs, now)`` sorts the waiting jobs into the socially-just
+    start order; ``ctx`` is the live :class:`HybridFSTObserver`, exposing
+    the scheduler's fairshare ``tracker`` and the observer's
+    ``duration_of`` memo (the hypothetical-schedule durations) so orders
+    can rank by usage or by size without recomputing either.
+    """
+
+    name: str
+    description: str
+    order: Callable[["HybridFSTObserver", Sequence[Job], float], List[Job]]
+
+
+def _fairshare_reference(ctx: "HybridFSTObserver", jobs, now: float):
+    return ctx.tracker.order(jobs, now)
+
+
+def _fcfs_reference(ctx: "HybridFSTObserver", jobs, now: float):
+    return sorted(jobs, key=lambda j: (j.submit_time, j.id))
+
+
+def _shortest_first_reference(ctx: "HybridFSTObserver", jobs, now: float):
+    return sorted(jobs, key=lambda j: (ctx.duration_of(j), j.submit_time, j.id))
+
+
+_REFERENCE_ORDERS: Dict[str, ReferenceOrder] = {}
+
+
+def register_reference_order(ref: ReferenceOrder) -> ReferenceOrder:
+    if ref.name in _REFERENCE_ORDERS:
+        raise ValueError(f"duplicate reference order {ref.name!r}")
+    _REFERENCE_ORDERS[ref.name] = ref
+    return ref
+
+
+def get_reference_order(name: str) -> ReferenceOrder:
+    try:
+        return _REFERENCE_ORDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown reference order (FST basis) {name!r}; "
+            f"known: {', '.join(sorted(_REFERENCE_ORDERS))}"
+        ) from None
+
+
+def reference_order_names() -> Tuple[str, ...]:
+    """Registered names, in registration order."""
+    return tuple(_REFERENCE_ORDERS)
+
+
+register_reference_order(ReferenceOrder(
+    "fairshare",
+    "decayed per-user usage, light users first (the paper's choice)",
+    _fairshare_reference,
+))
+register_reference_order(ReferenceOrder(
+    "fcfs",
+    "strict seniority: arrival order decides the hypothetical schedule",
+    _fcfs_reference,
+))
+register_reference_order(ReferenceOrder(
+    "shortest-first",
+    "smallest hypothetical duration first (size-based fairness)",
+    _shortest_first_reference,
+))
+
+
+# --------------------------------------------------------------------------
 # the hybrid fairshare FST (Section 4.1)
 # --------------------------------------------------------------------------
 
@@ -50,10 +132,10 @@ class HybridFSTObserver(Observer):
     ``"perfect"`` (actual runtimes — the default, matching the CONS_P-style
     perfect-estimate reference) or ``"wcl"`` (user estimates).
 
-    ``basis`` picks the socially-just order of the hypothetical schedule
-    (the paper's conclusion: "the fairness metric can be modified in a
-    similar way to measure fairness via other alternative fairness
-    priorities"): ``"fairshare"`` (the paper's choice) or ``"fcfs"``.
+    ``basis`` names the socially-just order of the hypothetical schedule —
+    any registered :class:`ReferenceOrder` (``"fairshare"``, the paper's
+    choice; ``"fcfs"``; ``"shortest-first"``; plus extensions registered
+    via :func:`register_reference_order`).
 
     The observer requires a scheduler that exposes ``waiting_jobs()`` and a
     fairshare ``tracker`` (every :class:`repro.sched.BaseScheduler` does).
@@ -70,8 +152,10 @@ class HybridFSTObserver(Observer):
     def __init__(self, estimate_mode: str = "perfect", basis: str = "fairshare") -> None:
         if estimate_mode not in ("perfect", "wcl"):
             raise ValueError("estimate_mode must be 'perfect' or 'wcl'")
-        if basis not in ("fairshare", "fcfs"):
-            raise ValueError("basis must be 'fairshare' or 'fcfs'")
+        try:
+            self._reference = get_reference_order(basis)
+        except KeyError as exc:
+            raise ValueError(f"basis: {exc.args[0]}") from None
         self.estimate_mode = estimate_mode
         self.basis = basis
         self.fst: Dict[int, float] = {}
@@ -96,7 +180,12 @@ class HybridFSTObserver(Observer):
                 "a fairshare tracker"
             )
 
-    def _duration_of(self, job: Job) -> float:
+    @property
+    def tracker(self):
+        """The scheduler's fairshare tracker (for usage-ranked orders)."""
+        return self._engine.scheduler.tracker
+
+    def duration_of(self, job: Job) -> float:
         """Hypothetical-schedule duration: a chunk carries its whole
         remaining chain, so the fair reference treats the original trace job
         as one contiguous block regardless of runtime-limit splitting."""
@@ -124,7 +213,7 @@ class HybridFSTObserver(Observer):
             # (kill-policy-capped) runtime plus its chain tail is >= the
             # real occupation, so max(end, now) == end while it runs
             self._occupied[job.id] = (
-                job.nodes, job.start_time + self._duration_of(job),
+                job.nodes, job.start_time + self.duration_of(job),
             )
 
     def on_completion(self, job: Job, now: float) -> None:
@@ -150,14 +239,10 @@ class HybridFSTObserver(Observer):
         # hypothetical: everyone queued right now runs in the socially-just
         # order, no backfilling.  Placement can stop at the arriving job —
         # later entries in the order cannot move it.
-        if self.basis == "fairshare":
-            order = sched.tracker.order(sched.waiting_jobs(), now)
-        else:
-            order = sorted(sched.waiting_jobs(),
-                           key=lambda j: (j.submit_time, j.id))
+        order = self._reference.order(self, sched.waiting_jobs(), now)
         target = job.id
         for queued in order:
-            start = tl.place(queued.nodes, self._duration_of(queued), earliest=now)
+            start = tl.place(queued.nodes, self.duration_of(queued), earliest=now)
             if queued.id == target:
                 self.fst[target] = start
                 return

@@ -145,6 +145,9 @@ CATALOG: Tuple[Tuple[str, str], ...] = (
     ("sched.order_sort", "one full priority-order re-sort"),
     ("fairshare.settle", "one usage settlement that advanced accounts"),
     ("fairshare.decay", "one daily decay tick applied"),
+    ("fsp.settle", "one fluid-drain step of the FSP virtual machine"),
+    ("fsp.virtual_complete", "one job finishing in the FSP virtual machine"),
+    ("rr.rotate", "one round-robin rotation scan over user lanes"),
 )
 
 #: just the names, for membership checks.

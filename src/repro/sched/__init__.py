@@ -1,7 +1,7 @@
 """Scheduling policies: the CPlant baseline, its fairness-directed
 variants, and the conservative-backfilling family."""
 
-from .base import BaseScheduler
+from .base import PRIORITY_POLICIES, BaseScheduler
 from .conservative import ConservativeScheduler
 from .depthk import DepthKScheduler
 from .dynamic import DynamicReservationScheduler
@@ -12,18 +12,23 @@ from .noguarantee import NoGuaranteeScheduler
 from .queues import (
     fcfs_order,
     make_fairshare_order,
+    make_srpt_order,
     shortest_first_order,
     widest_first_order,
 )
 from .registry import (
     CONSERVATIVE_POLICIES,
+    MATRIX_POLICIES,
     MINOR_POLICIES,
     PAPER_POLICIES,
     REGISTRY,
     PolicySpec,
     get_policy,
     policy_names,
+    validate_overrides,
 )
+from .roundrobin import RoundRobinScheduler
+from .sizebased import FairSojournScheduler, VirtualFairShare
 
 __all__ = [
     "BaseScheduler",
@@ -33,18 +38,25 @@ __all__ = [
     "DepthKScheduler",
     "DynamicReservationScheduler",
     "EasyBackfillScheduler",
+    "FairSojournScheduler",
     "FairshareTracker",
+    "MATRIX_POLICIES",
     "MINOR_POLICIES",
     "NoBackfillScheduler",
     "NoGuaranteeScheduler",
     "PAPER_POLICIES",
+    "PRIORITY_POLICIES",
     "PolicySpec",
     "REGISTRY",
+    "RoundRobinScheduler",
+    "VirtualFairShare",
     "fcfs_order",
     "get_policy",
     "head_reservation",
     "make_fairshare_order",
+    "make_srpt_order",
     "policy_names",
     "shortest_first_order",
+    "validate_overrides",
     "widest_first_order",
 ]

@@ -22,7 +22,17 @@ from ..core.events import EventKind
 from ..core.job import Job
 from ..obs import counters as _counters
 from .fairshare import DAY, FairshareTracker
-from .queues import OrderingPolicy, fcfs_order, make_fairshare_order
+from .queues import (
+    OrderingPolicy,
+    fcfs_order,
+    make_fairshare_order,
+    make_srpt_order,
+    shortest_first_order,
+    widest_first_order,
+)
+
+#: priority keys :class:`BaseScheduler` understands, in catalog order
+PRIORITY_POLICIES = ("fairshare", "fcfs", "spt", "srpt", "widest")
 
 
 def _remove_identical(jobs: List[Job], job: Job) -> bool:
@@ -56,8 +66,21 @@ class BaseScheduler(SchedulerProtocol):
             self.ordering: OrderingPolicy = make_fairshare_order(self.tracker)
         elif priority == "fcfs":
             self.ordering = fcfs_order
+        elif priority == "spt":
+            self.ordering = shortest_first_order
+        elif priority == "srpt":
+            # remaining estimate = own wcl + chain tail; the engine owns the
+            # chain bookkeeping, and it is attached before any ordering call
+            self.ordering = make_srpt_order(
+                lambda job: self.engine.chain_tail_wcl(job)
+            )
+        elif priority == "widest":
+            self.ordering = widest_first_order
         else:
-            raise ValueError(f"unknown priority policy: {priority!r}")
+            raise ValueError(
+                f"unknown priority policy: {priority!r}; "
+                f"known: {', '.join(PRIORITY_POLICIES)}"
+            )
         self.priority = priority
         self.queue: List[Job] = []
         self.engine: Optional[Engine] = None
@@ -111,6 +134,20 @@ class BaseScheduler(SchedulerProtocol):
             if not _remove_identical(self._order_cache, job):
                 self._order_cache = None
 
+    def _order_epoch(self, now: float) -> int:
+        """The cache-invalidation version of the priority order.
+
+        Fairshare priorities move with decayed usage; every other built-in
+        order depends only on per-job constants, so membership changes (via
+        ``enqueue``/``start``) are the only invalidation.  Subclasses with
+        stateful orders (e.g. the virtual fair-share rank of FSP) override
+        this to settle and expose their own version counter.
+        """
+        if self.priority == "fairshare":
+            self.tracker.settle(now)
+            return self.tracker.usage_version
+        return 0
+
     def ordered_queue(self, now: float) -> List[Job]:
         """The queue in priority order; cached between usage changes.
 
@@ -118,11 +155,7 @@ class BaseScheduler(SchedulerProtocol):
         concurrent :meth:`start` edits it in place (by design, so loops of
         the form "re-fetch order, start one job" stay O(queue) per round).
         """
-        if self.priority == "fairshare":
-            self.tracker.settle(now)
-            version = self.tracker.usage_version
-        else:
-            version = 0  # fcfs: order depends only on membership
+        version = self._order_epoch(now)
         c = _counters.ACTIVE
         if self._order_cache is not None and self._order_version == version:
             if c is not None:

@@ -2,8 +2,10 @@
 
 Two orders matter in the paper: FCFS (arrival order; the starvation queue
 and the classic baselines) and fairshare (decayed per-user usage; the main
-CPlant queue).  A policy is just a callable producing a sorted job list;
-both are deterministic with (submit_time, id) tie-breaks.
+CPlant queue).  The size-based orders (shortest/widest/SRPT) drive the
+extension policies of the fairness matrix.  A policy is just a callable
+producing a sorted job list; all are deterministic with (submit_time, id)
+tie-breaks.
 """
 
 from __future__ import annotations
@@ -39,3 +41,21 @@ def widest_first_order(jobs: Iterable[Job], now: float) -> List[Job]:
 def shortest_first_order(jobs: Iterable[Job], now: float) -> List[Job]:
     """Shortest-estimate-first (extension policy)."""
     return sorted(jobs, key=lambda j: (j.wcl, j.submit_time, j.id))
+
+
+def make_srpt_order(chain_tail: Callable[[Job], float]) -> OrderingPolicy:
+    """Shortest-remaining-estimate-first bound to a chain-tail oracle.
+
+    A queued job's remaining estimate is its own wall-clock limit plus the
+    estimates of the chunks still behind it in a runtime-limit chain, so a
+    split job that already burned most of its chain ranks ahead of a fresh
+    one of the same total length.  Both components are fixed once the job
+    is enqueued, so the order only changes with queue membership.
+    """
+
+    def order(jobs: Iterable[Job], now: float) -> List[Job]:
+        return sorted(
+            jobs, key=lambda j: (j.wcl + chain_tail(j), j.submit_time, j.id)
+        )
+
+    return order

@@ -19,6 +19,8 @@ from .dynamic import DynamicReservationScheduler
 from .easy import EasyBackfillScheduler
 from .nobackfill import NoBackfillScheduler
 from .noguarantee import NoGuaranteeScheduler
+from .roundrobin import RoundRobinScheduler
+from .sizebased import FairSojournScheduler
 
 HOUR = 3600.0
 
@@ -129,6 +131,42 @@ _SPECS: Tuple[PolicySpec, ...] = (
         lambda **kw: DepthKScheduler(depth=4, **kw),
         None, "reservation-depth-4 backfilling, fairshare priority",
     ),
+    # -- the size-based / baseline frontier (fairness-matrix extension) --
+    PolicySpec(
+        "spt.nobackfill",
+        lambda **kw: NoBackfillScheduler(priority="spt", **kw),
+        None, "shortest-estimate-first list scheduling without backfilling",
+    ),
+    PolicySpec(
+        "easy.spt", lambda **kw: EasyBackfillScheduler(priority="spt", **kw),
+        None, "EASY backfilling with shortest-estimate-first priority",
+    ),
+    PolicySpec(
+        "easy.srpt", lambda **kw: EasyBackfillScheduler(priority="srpt", **kw),
+        72 * HOUR,
+        "EASY backfilling ordered by shortest *remaining* estimate; the "
+        "72 h runtime limit splits long jobs so progress shortens a chain",
+    ),
+    PolicySpec(
+        "easy.widest",
+        lambda **kw: EasyBackfillScheduler(priority="widest", **kw),
+        None, "EASY backfilling with widest-job-first priority",
+    ),
+    PolicySpec(
+        "fsp.easy", lambda **kw: FairSojournScheduler(backfill="easy", **kw),
+        None,
+        "fair-sojourn (FSP-like) rank from a virtual equal-share machine, "
+        "with EASY backfilling around a blocked head",
+    ),
+    PolicySpec(
+        "fsp.nobackfill",
+        lambda **kw: FairSojournScheduler(backfill="none", **kw),
+        None, "fair-sojourn (FSP-like) rank, strict list scheduling",
+    ),
+    PolicySpec(
+        "rr.user", lambda **kw: RoundRobinScheduler(**kw),
+        None, "round-robin over users, FCFS within each user's lane",
+    ),
 )
 
 REGISTRY: Dict[str, PolicySpec] = {spec.key: spec for spec in _SPECS}
@@ -144,6 +182,13 @@ CONSERVATIVE_POLICIES: Tuple[str, ...] = (
     "cplant24.nomax.all", "cons.nomax", "consdyn.nomax", "cons.72max", "consdyn.72max",
 )
 
+#: the fairness-matrix policy set: the paper baseline and conservative
+#: reference, the classic FCFS/EASY baselines, and the size-based frontier
+MATRIX_POLICIES: Tuple[str, ...] = (
+    "cplant24.nomax.all", "cons.nomax", "fcfs.nobackfill", "easy.fcfs",
+    "spt.nobackfill", "easy.srpt", "fsp.easy", "rr.user",
+)
+
 
 def validate_overrides(key: str, overrides: Mapping[str, object]) -> None:
     """Fail fast on scheduler-parameter overrides a policy cannot accept.
@@ -151,17 +196,42 @@ def validate_overrides(key: str, overrides: Mapping[str, object]) -> None:
     Campaign specs name override grids declaratively; instantiating the
     scheduler here (they are cheap to build) surfaces a misspelled or
     inapplicable parameter before any worker process is spawned, with the
-    policy key in the message instead of a bare ``TypeError`` from a
-    factory closure.
+    policy key *and the offending override names* in the message instead
+    of a bare ``TypeError`` from a factory closure.
     """
     spec = get_policy(key)
     try:
         spec.make_scheduler(**dict(overrides))
+        return
     except TypeError as exc:
+        cause = exc
+    # name the culprit(s): re-probe each override alone, so "which key was
+    # wrong" survives even when several are passed together
+    bad = sorted(
+        k for k, v in dict(overrides).items()
+        if _rejects_single_override(spec, k, v)
+    )
+    if bad:
         raise ValueError(
-            f"policy {key!r} rejects scheduler overrides "
-            f"{dict(overrides)!r}: {exc}"
+            f"policy {key!r} rejects scheduler override"
+            f"{'s' if len(bad) > 1 else ''} "
+            f"{', '.join(repr(k) for k in bad)}: {cause}"
         ) from None
+    # no single key is at fault (an interaction); report the whole set
+    raise ValueError(
+        f"policy {key!r} rejects scheduler overrides "
+        f"{dict(overrides)!r}: {cause}"
+    ) from None
+
+
+def _rejects_single_override(
+    spec: PolicySpec, key: str, value: object
+) -> bool:
+    try:
+        spec.make_scheduler(**{key: value})
+    except TypeError:
+        return True
+    return False
 
 
 def get_policy(key: str) -> PolicySpec:

@@ -1,0 +1,57 @@
+"""User-level round-robin scheduling.
+
+A deliberately simple egalitarian baseline for the fairness matrix: each
+user's waiting jobs form an FCFS lane, and the scheduler rotates over
+users, starting the next lane head that fits.  No reservations, no
+backfilling beyond the rotation itself — a lane head that does not fit
+is skipped for this round and the rotation moves on, so one wide job
+cannot idle the machine, but a user's own jobs never overtake each
+other.
+
+The rotation pointer (the last user served) is the only state; every
+pass either starts a job or returns, so scheduling terminates, and all
+iteration is over sorted user ids, so the outcome is deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.job import Job
+from ..obs import counters as _counters
+from .base import BaseScheduler
+
+
+class RoundRobinScheduler(BaseScheduler):
+    """Round-robin over users, FCFS within each user's lane."""
+
+    def __init__(self, **kw) -> None:
+        super().__init__(priority="fcfs", **kw)
+        self.name = "rr.user"
+        self._last_user: Optional[int] = None
+
+    def schedule(self, now: float, reason: str) -> None:
+        while self.queue:
+            # lane heads: each user's earliest waiting job
+            heads: Dict[int, Job] = {}
+            for job in self.queue:
+                cur = heads.get(job.user_id)
+                if cur is None or (job.submit_time, job.id) < (cur.submit_time,
+                                                               cur.id):
+                    heads[job.user_id] = job
+            users = sorted(heads)
+            # rotate: users strictly after the last served go first, wrap after
+            if self._last_user is not None:
+                tail = [u for u in users if u > self._last_user]
+                users = tail + [u for u in users if u <= self._last_user]
+            c = _counters.ACTIVE
+            if c is not None:
+                c.hit("rr.rotate")
+            for user in users:
+                head = heads[user]
+                if self.cluster.fits(head):
+                    self._last_user = user
+                    self.start(head, now)
+                    break
+            else:
+                return

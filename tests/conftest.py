@@ -1,11 +1,23 @@
-"""Shared fixtures: small deterministic jobs and workloads."""
+"""Shared fixtures: small deterministic jobs and workloads.
+
+Also registers the hypothesis profiles: ``ci`` (used by the workflow via
+``HYPOTHESIS_PROFILE=ci``) prints the ``@reproduce_failure`` blob on any
+failing example so a CI-only shrink is replayable locally.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.core.job import Job
 from repro.workload.generator import random_workload
+
+settings.register_profile("dev", print_blob=True)
+settings.register_profile("ci", print_blob=True, derandomize=True)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 def make_job(

@@ -30,14 +30,21 @@ from repro.campaign import CampaignCache, cell_key
 from repro.cli import main
 from repro.experiments.export import policy_run_record
 from repro.experiments.runner import run_policy
-from repro.sched.registry import PAPER_POLICIES, REGISTRY
+from repro.sched.registry import MATRIX_POLICIES, PAPER_POLICIES, REGISTRY
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: tiny but non-degenerate: ~260 jobs, every policy still queues
 SMALL = PaperConfig(scale=0.02, seed=3)
 
-EXPECTED_IDS = [f"fig{n:02d}" for n in range(3, 20)] + ["table1", "table2"]
+EXPECTED_IDS = (
+    [f"fig{n:02d}" for n in range(3, 20)] + ["table1", "table2", "matrix"]
+)
+
+#: cells a full cold build simulates: the paper's nine policies under the
+#: default options, plus the matrix's eight under its reference-order
+#: options (distinct cache keys even where the policy repeats)
+N_FULL_CELLS = len(PAPER_POLICIES) + len(MATRIX_POLICIES)
 
 
 @pytest.fixture(scope="module")
@@ -76,13 +83,22 @@ class TestRegistry:
 
 
 class TestPlan:
-    def test_full_plan_dedupes_to_the_nine_policies(self):
+    def test_full_plan_dedupes_to_the_distinct_cells(self):
         plan = plan_build(config=SMALL)
-        assert sorted(c.policy for c in plan.cells) == sorted(PAPER_POLICIES)
+        # the nine-policy paper suite plus the matrix's eight cells (same
+        # policies partially, but distinct options => distinct cache keys)
+        expected = sorted(list(PAPER_POLICIES) + list(MATRIX_POLICIES))
+        assert sorted(c.policy for c in plan.cells) == expected
         assert len(set(plan.keys)) == len(plan.keys)
         # figures 8-19 all share the nine-policy suite: most requirements
         # collapse onto already-planned cells
         assert plan.n_shared > 50
+
+    def test_matrix_cells_do_not_collide_with_the_paper_suite(self):
+        plan = plan_build(config=SMALL)
+        paper_keys = set(plan.cell_keys["fig08"].values())
+        matrix_keys = set(plan.cell_keys["matrix"].values())
+        assert not paper_keys & matrix_keys
 
     def test_subset_plan_is_the_union_of_requirements(self):
         plan = plan_build(["fig08", "fig14", "table1"], config=SMALL)
@@ -113,7 +129,7 @@ class TestBuild:
         for rendered in result.outputs:
             assert rendered.path.is_file()
             assert rendered.path.read_text().rstrip()
-        assert result.n_simulated == len(PAPER_POLICIES)
+        assert result.n_simulated == N_FULL_CELLS
         assert result.n_cached == 0
 
     def test_rebuild_is_all_cache_hits_and_byte_identical(self, built):
@@ -123,7 +139,7 @@ class TestBuild:
             config=SMALL, out_dir=root / "out", cache=cache, check=True
         )
         assert again.n_simulated == 0
-        assert again.n_cached == len(PAPER_POLICIES)
+        assert again.n_cached == N_FULL_CELLS
         assert again.manifest_path.read_bytes() == before
 
     def test_manifest_names_inputs_and_digests(self, built):
@@ -181,7 +197,7 @@ class TestBuild:
             cache=CampaignCache(tmp_path / "cache"),
             jobs=2,
         )
-        assert parallel.n_simulated == len(PAPER_POLICIES)
+        assert parallel.n_simulated == N_FULL_CELLS
         assert (
             parallel.manifest_path.read_bytes()
             == result.manifest_path.read_bytes()

@@ -12,6 +12,7 @@ class TestParser:
         assert set(sub.choices) == {
             "generate", "run", "compare", "figures", "tables", "policies",
             "analyze", "export", "sweep", "scenarios", "paper", "trace",
+            "matrix",
         }
 
     def test_run_rejects_unknown_policy(self):
@@ -25,6 +26,40 @@ class TestCommands:
         out = capsys.readouterr().out
         for key in ("cplant24.nomax.all", "cons.72max", "consdyn.nomax"):
             assert key in out
+
+    def test_policies_lists_the_frontier(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        for key in ("easy.srpt", "fsp.easy", "rr.user"):
+            assert key in out
+
+    def test_matrix_writes_text_and_json(self, tmp_path, capsys):
+        argv = [
+            "matrix", "--policies", "fcfs.nobackfill,rr.user",
+            "--orders", "fairshare,fcfs", "--scale", "0.01", "--seed", "3",
+            "--no-cache", "--quiet",
+            "--out", str(tmp_path / "matrix.txt"),
+            "--json", str(tmp_path / "matrix.json"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "policy x reference-order fairness matrix" in out
+        assert "2 policies x 2 orders x 1 scenarios" in out
+        text = (tmp_path / "matrix.txt").read_text()
+        assert "rr.user" in text
+        import json as _json
+
+        doc = _json.loads((tmp_path / "matrix.json").read_text())
+        assert doc["config"]["policies"] == ["fcfs.nobackfill", "rr.user"]
+        assert "cplant-baseline" in doc["matrix"]
+
+    def test_matrix_rejects_unknown_axis_values(self, capsys):
+        assert main(["matrix", "--orders", "bogus", "--no-cache"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown reference order" in err
+        assert main(["matrix", "--policies", "nope", "--no-cache"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown policy" in err
 
     def test_generate_writes_swf(self, tmp_path, capsys):
         out = tmp_path / "t.swf"

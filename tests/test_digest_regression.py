@@ -15,6 +15,12 @@ floats with ``repr`` (exact round-trip), so equality here is bit-level.
 
 from __future__ import annotations
 
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -76,6 +82,43 @@ RECORDED_DIGESTS = {
         "988b2090bfe667416349b42e5a10b77026c72f29dc3883d3dc6b28405112541f",
 }
 
+#: the size-based / baseline frontier policies, recorded at introduction
+#: (same byte-identical contract as the pre-optimization digests above).
+#: easy.spt == easy.srpt on unchunked traces by construction: with no
+#: chain tail, remaining work equals the static estimate.
+FRONTIER_DIGESTS = {
+    "spt.nobackfill|small":
+        "1bca2d14f42117073820ab19a557b25a221a768a466ed27aba8aed8b4fe677d9",
+    "easy.spt|small":
+        "67c01bbc8e8138f4e4db6d99fc2e88688415354108ffc4169a67efffc8a1f02c",
+    "easy.srpt|small":
+        "67c01bbc8e8138f4e4db6d99fc2e88688415354108ffc4169a67efffc8a1f02c",
+    "easy.widest|small":
+        "42b2b03eccbdf6e24b7548e329953536326d5caeb6b4b72cfe0a3d1310f2be8c",
+    "fsp.easy|small":
+        "a5bb093c71bc403144cc44e70c8dff5225eec5b87ca5cf4b3b360cb6553517e1",
+    "fsp.nobackfill|small":
+        "5838c14c5198309f0002ce398bb0951cb23f8a66bfe5ea8b67c7faf59fe9f91f",
+    "rr.user|small":
+        "0a9cedf205041f1f5487bf330e3723dc9737ae85145d16b20f9a987ab8ea85cb",
+    "spt.nobackfill|heavy":
+        "2120da3d52b62ff467466c9484d39d240c5363b5fb1cb21b5e6510e27ac165b5",
+    "easy.spt|heavy":
+        "f1584cd005a4673a568a1b3af5a2bc875915cc9f0af80a848a81335b49cc24d7",
+    "easy.widest|heavy":
+        "293ad0415533c238ef8f78a7f718bdb2e9c3bc71253fc4ecec56f8e39d7a9c0b",
+    "fsp.easy|heavy":
+        "ec3b25b619e53a6dffe56dacb22d7e3523081f34f8c114e200d057d946e4146b",
+    "rr.user|heavy":
+        "0fbeb1daa113f92fd927f5c3a34f142a779d54339fcfc217e28671cc4cfc5fc9",
+    "easy.srpt|cplant0.03":
+        "6f6da2bef902d9f8faf24367287673d2fe6d7cd1ce8a5e53a07d5135d46a7273",
+    "fsp.easy|cplant0.03":
+        "e0aaee62813227ed2a179424df024a976be289ffe95d206e53e8f5fd1559f271",
+    "rr.user|cplant0.03":
+        "e0aaee62813227ed2a179424df024a976be289ffe95d206e53e8f5fd1559f271",
+}
+
 
 def _overrun_workload() -> Workload:
     """Dense 48-node workload where ~1/3 of jobs underestimate (and so
@@ -111,7 +154,10 @@ def digest_workloads():
     }
 
 
-@pytest.mark.parametrize("case", sorted(RECORDED_DIGESTS))
+ALL_DIGESTS = {**RECORDED_DIGESTS, **FRONTIER_DIGESTS}
+
+
+@pytest.mark.parametrize("case", sorted(ALL_DIGESTS))
 def test_digest_matches_recorded_baseline(case, digest_workloads):
     parts = case.split("|")
     policy, workload = parts[0], parts[1]
@@ -120,7 +166,7 @@ def test_digest_matches_recorded_baseline(case, digest_workloads):
         key, value = extra.split("=")
         kwargs[key] = KillPolicy[value] if key == "kill_policy" else value
     run = run_policy(digest_workloads[workload], policy, **kwargs)
-    assert run.result.digest() == RECORDED_DIGESTS[case], (
+    assert run.result.digest() == ALL_DIGESTS[case], (
         f"{case}: simulation outcome changed — optimizations must be "
         "byte-identical (see docs/PERFORMANCE.md)"
     )
@@ -132,3 +178,41 @@ def test_digest_is_deterministic(digest_workloads):
     a = run_policy(digest_workloads["small"], "cons.nomax").result.digest()
     b = run_policy(digest_workloads["small"], "cons.nomax").result.digest()
     assert a == b
+
+
+#: policies whose cross-process stability is asserted below — one per
+#: scheduler family touched by the frontier, plus the paper baseline
+CROSS_PROCESS_POLICIES = (
+    "cplant24.nomax.all", "spt.nobackfill", "easy.srpt", "fsp.easy",
+    "rr.user",
+)
+
+
+def test_digests_stable_across_processes():
+    """Same policy + workload must digest identically in a fresh
+    interpreter: no set/dict iteration order, hash randomization, or
+    module-level state may leak into a schedule (the property the
+    campaign cache and the CI matrix-smoke job rely on)."""
+    wl = random_workload(120, system_size=32, seed=42, load=0.9)
+    here = {
+        p: run_policy(wl, p).result.digest() for p in CROSS_PROCESS_POLICIES
+    }
+    prog = (
+        "import json\n"
+        "from repro.experiments.runner import run_policy\n"
+        "from repro.workload.generator import random_workload\n"
+        "wl = random_workload(120, system_size=32, seed=42, load=0.9)\n"
+        f"keys = {CROSS_PROCESS_POLICIES!r}\n"
+        "out = {p: run_policy(wl, p).result.digest() for p in keys}\n"
+        "print(json.dumps(out))\n"
+    )
+    repo_root = Path(__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(repo_root / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", prog], env=env, capture_output=True,
+        text=True, check=True,
+    )
+    assert json.loads(proc.stdout) == here

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Docs-consistency checks (run by the CI `docs` job and usable locally).
 
-Five checks:
+Six checks:
 
 1. **Scenario catalog** — every scenario registered in
    ``repro.scenarios`` must appear (as `` `name` ``) in
@@ -20,6 +20,10 @@ Five checks:
    counter in ``repro.obs.counters.CATALOG`` (as `` `name` ``) and the
    trace/stats entry points, and docs/ARCHITECTURE.md must carry an
    Observability section, so the telemetry catalog cannot drift.
+6. **Scheduler docs** — docs/SCHEDULERS.md must document every policy
+   key in ``repro.sched.registry`` and every hybrid-FST reference order
+   in ``repro.metrics`` (as `` `name` ``), so the scheduler catalog
+   cannot drift.
 
 Exit status 0 = consistent; 1 = problems (all listed on stderr).
 
@@ -146,10 +150,34 @@ def check_observability_docs() -> list[str]:
     return problems
 
 
+def check_scheduler_docs() -> list[str]:
+    from repro.metrics import reference_order_names
+    from repro.sched.registry import policy_names
+
+    doc_path = ROOT / "docs" / "SCHEDULERS.md"
+    if not doc_path.is_file():
+        return ["missing docs/SCHEDULERS.md"]
+    doc = doc_path.read_text()
+    problems = [
+        f"docs/SCHEDULERS.md: registered policy `{key}` is not documented"
+        for key in policy_names()
+        if f"`{key}`" not in doc
+    ]
+    problems += [
+        f"docs/SCHEDULERS.md: reference order `{name}` is not documented"
+        for name in reference_order_names()
+        if f"`{name}`" not in doc
+    ]
+    for needle in ("repro policies", "repro matrix"):
+        if needle not in doc:
+            problems.append(f"docs/SCHEDULERS.md: does not mention `{needle}`")
+    return problems
+
+
 def main() -> int:
     problems = (check_scenario_catalog() + check_links()
                 + check_performance_docs() + check_pipeline_docs()
-                + check_observability_docs())
+                + check_observability_docs() + check_scheduler_docs())
     for p in problems:
         print(f"[check-docs] {p}", file=sys.stderr)
     if problems:
