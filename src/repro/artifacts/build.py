@@ -30,8 +30,11 @@ from ..campaign.executor import (
     CampaignRunStats,
     ProgressFn,
     campaign_stats,
+    default_journal_dir,
     run_cells,
 )
+from ..campaign.journal import RunJournal
+from ..campaign.retry import RetryPolicy, RunReport
 from ..campaign.spec import CampaignCell, WorkloadSpec
 from ..workload.model import Workload
 from .registry import select_artifacts
@@ -186,6 +189,8 @@ def build_artifacts(
     force: bool = False,
     check: bool = False,
     progress: Optional[ProgressFn] = None,
+    retry: Optional[RetryPolicy] = None,
+    resume: bool = False,
 ) -> BuildResult:
     """Build a selection of paper artifacts end to end.
 
@@ -195,15 +200,27 @@ def build_artifacts(
     With ``check=True`` each artifact's qualitative shape check runs
     against the freshly built data (shape assertions only engage when
     the trace has at least ``SHAPE_MIN_JOBS`` jobs).
+
+    Every run journals its completions next to the cache, so an
+    interrupted build continues with ``resume=True`` (``repro paper
+    build --resume``); cell failures follow ``retry`` (default:
+    :class:`RetryPolicy`).  Recovery accounting lands in the
+    ``build-stats.json`` sidecar, never the manifest.
     """
     t0 = time.perf_counter()
     plan = plan_build(only, config)
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
 
+    journal = None
+    journal_dir = default_journal_dir(cache)
+    if journal_dir is not None:
+        journal = RunJournal.at(journal_dir, plan.keys, name="paper-build")
     stats_base = cache.stats.snapshot() if cache is not None else None
+    report = RunReport()
     results = run_cells(
-        plan.cells, jobs=jobs, cache=cache, force=force, progress=progress
+        plan.cells, jobs=jobs, cache=cache, force=force, progress=progress,
+        retry=retry, journal=journal, resume=resume, report=report,
     )
     cell_wall = time.perf_counter() - t0
     # the same policy may appear under different options across artifacts,
@@ -244,6 +261,7 @@ def build_artifacts(
     stats = campaign_stats(
         results, cell_wall, max(1, jobs),
         cache.stats.since(stats_base) if stats_base is not None else None,
+        report=report,
     )
     stats_path = out / STATS_NAME
     stats_path.write_text(json.dumps(stats.as_dict(), indent=2,

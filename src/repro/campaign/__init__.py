@@ -6,6 +6,12 @@ worker processes (:func:`run_campaign`), memoized in a content-addressed
 on-disk cache (:class:`CampaignCache`), and collapsed into per-group
 mean/std/95%-CI statistics (:func:`aggregate_cells`).  The CLI front end
 is ``repro sweep <spec.json>``.
+
+The executor is a fault-tolerant runtime (see ``docs/ROBUSTNESS.md``):
+failed cells retry under a :class:`RetryPolicy`, worker loss rebuilds
+the pool, a watchdog bounds per-cell wall clock, completions journal to
+a crash-safe :class:`RunJournal` for ``--resume``, and every failure
+path is exercisable deterministically through :mod:`.faults`.
 """
 
 from .aggregate import (
@@ -17,33 +23,57 @@ from .aggregate import (
 from .cache import (
     CACHE_DIR_ENV,
     CACHE_SCHEMA,
+    CacheAudit,
     CacheStats,
     CampaignCache,
     cell_key,
     code_version,
     default_cache_dir,
+    metrics_digest,
 )
 from .executor import (
     CampaignResult,
     CampaignRunStats,
     CellResult,
     campaign_stats,
+    default_journal_dir,
     run_campaign,
     run_cell,
     run_cells,
+)
+from .faults import FaultPlan, FaultRule
+from .journal import JOURNAL_SCHEMA, RunJournal
+from .retry import (
+    CellFailure,
+    CellTimeout,
+    RetryPolicy,
+    RunReport,
+    TransientError,
+    WorkerLost,
 )
 from .spec import CampaignCell, CampaignSpec, WorkloadSpec
 
 __all__ = [
     "CACHE_DIR_ENV",
     "CACHE_SCHEMA",
+    "CacheAudit",
     "CacheStats",
     "CampaignCache",
     "CampaignCell",
     "CampaignResult",
     "CampaignRunStats",
     "CampaignSpec",
+    "CellFailure",
     "CellResult",
+    "CellTimeout",
+    "FaultPlan",
+    "FaultRule",
+    "JOURNAL_SCHEMA",
+    "RetryPolicy",
+    "RunJournal",
+    "RunReport",
+    "TransientError",
+    "WorkerLost",
     "WorkloadSpec",
     "aggregate_cells",
     "aggregate_rows",
@@ -51,7 +81,9 @@ __all__ = [
     "cell_key",
     "code_version",
     "default_cache_dir",
+    "default_journal_dir",
     "flatten_metrics",
+    "metrics_digest",
     "run_campaign",
     "run_cell",
     "run_cells",

@@ -1,0 +1,186 @@
+"""Retry policy and failure classification for the campaign runtime.
+
+A campaign cell is a pure function of its spec, so a failure is either
+*transient* (the environment hiccuped: a worker was OOM-killed, a pipe
+closed, an injected chaos fault fired) or *deterministic* (the simulation
+itself raises, and will raise identically on every attempt).  The
+executor cannot know which a priori; this module encodes the operational
+rule it uses instead:
+
+* transient-typed errors (:class:`TransientError`, ``OSError`` and
+  friends) are retried with capped exponential backoff up to
+  ``max_attempts``;
+* any cell that fails twice with an *identical* signature (same
+  exception type and message) is **quarantined** — retrying a pure
+  deterministic failure forever only burns the pool;
+* a cell whose execution repeatedly coincides with worker death is
+  quarantined after ``max_worker_kills`` charged kills (worker-loss
+  blame is conservative — every in-flight cell at a pool break is
+  charged — so the threshold must exceed the number of breaks an
+  innocent bystander can witness).
+
+Backoff is deterministic (no jitter): campaign results must be
+byte-identical across runs, and the backoff schedule is observational
+only, but determinism keeps chaos tests exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = [
+    "CellFailure",
+    "CellTimeout",
+    "RetryPolicy",
+    "RunReport",
+    "TransientError",
+    "WorkerLost",
+    "failure_signature",
+    "is_transient",
+]
+
+
+class TransientError(Exception):
+    """Marker base: failures of this type are presumed retry-worthy."""
+
+
+class WorkerLost(TransientError):
+    """A worker process died while (possibly) executing this cell."""
+
+
+class CellTimeout(Exception):
+    """The per-cell wall-clock watchdog fired.
+
+    Deliberately *not* transient: a pathological cell usually hangs the
+    same way every time, so the identical-signature rule quarantines it
+    on the second timeout instead of burning ``timeout`` seconds per
+    attempt forever.
+    """
+
+
+#: exception types treated as transient even without the marker base
+_TRANSIENT_TYPES = (TransientError, OSError, ConnectionError)
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether ``exc`` looks environmental rather than deterministic."""
+    return isinstance(exc, _TRANSIENT_TYPES)
+
+
+def failure_signature(exc: BaseException) -> str:
+    """The identity used by the fails-identically-twice quarantine rule."""
+    return f"{type(exc).__name__}: {exc}"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Knobs of the fault-tolerant executor.
+
+    ``max_attempts`` counts *total* tries per cell (1 = never retry).
+    ``timeout`` is the per-cell wall-clock budget enforced by the pool
+    watchdog; ``None`` disables it, and the inline (``--jobs 1``) path
+    cannot preempt a running simulation so it ignores timeouts entirely.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    max_worker_kills: int = 2
+    timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive (or None to disable)")
+
+    def backoff(self, attempt: int) -> float:
+        """Deterministic capped exponential delay before retry ``attempt``
+        (1-based: the delay taken after the ``attempt``-th failure)."""
+        if attempt < 1 or self.backoff_base <= 0:
+            return 0.0
+        return min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+
+
+@dataclass
+class CellFailure:
+    """One cell the run could not complete, with why and how hard it tried.
+
+    ``kind`` is ``"error"`` (the cell raised), ``"timeout"`` (the
+    watchdog fired), or ``"worker-loss"`` (the cell was quarantined for
+    repeatedly killing its worker).  ``exc`` keeps the last exception
+    object for ``raise ... from`` chaining; ``error`` is its rendered
+    signature (JSON-safe, journaled).
+    """
+
+    cell: object
+    key: str
+    kind: str
+    error: str
+    attempts: int
+    quarantined: bool
+    exc: Optional[BaseException] = None
+
+
+@dataclass
+class RunReport:
+    """Recovery accounting for one ``run_cells`` execution.
+
+    Filled in place (pass one in to keep it across an aborted run), so a
+    driver that dies mid-campaign still leaves its counts observable.
+    """
+
+    failures: List[CellFailure] = field(default_factory=list)
+    retries: int = 0
+    pool_rebuilds: int = 0
+    timeouts: int = 0
+    quarantined: int = 0
+    journal_cells: int = 0
+
+    def merge(self, other: "RunReport") -> None:
+        self.failures.extend(other.failures)
+        self.retries += other.retries
+        self.pool_rebuilds += other.pool_rebuilds
+        self.timeouts += other.timeouts
+        self.quarantined += other.quarantined
+        self.journal_cells += other.journal_cells
+
+    def as_dict(self) -> dict:
+        return {
+            "retries": self.retries,
+            "pool_rebuilds": self.pool_rebuilds,
+            "timeouts": self.timeouts,
+            "quarantined": self.quarantined,
+            "journal_cells": self.journal_cells,
+            "n_failed": len(self.failures),
+        }
+
+
+class CellState:
+    """Per-cell retry bookkeeping inside one ``run_cells`` execution."""
+
+    __slots__ = ("attempts", "signatures", "worker_kills")
+
+    def __init__(self) -> None:
+        self.attempts = 0          # completed (failed) tries so far
+        self.signatures: List[str] = []
+        self.worker_kills = 0      # charged pool-break blames
+
+    def classify(self, exc: BaseException, policy: RetryPolicy) -> str:
+        """Record a failed attempt and decide what happens next.
+
+        Returns ``"retry"``, ``"quarantine"`` (failed identically twice —
+        deterministic), or ``"fail"`` (attempts exhausted).  Worker-loss
+        failures do not come through here: they neither consume attempts
+        nor leave signatures (see the executor's blame model).
+        """
+        self.attempts += 1
+        sig = failure_signature(exc)
+        repeated = sig in self.signatures
+        self.signatures.append(sig)
+        if repeated and not is_transient(exc):
+            return "quarantine"
+        if self.attempts >= policy.max_attempts:
+            return "fail"
+        return "retry"

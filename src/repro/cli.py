@@ -8,6 +8,8 @@ Subcommands::
     repro-sched figures   --scale 0.1          # print every paper figure
     repro-sched tables    --scale 1.0          # print Tables 1-2
     repro-sched sweep     campaign.json --jobs 4   # parallel cached sweep
+    repro-sched sweep     campaign.json --resume   # continue an interrupted run
+    repro-sched cache     verify|prune             # audit/repair the cell cache
     repro-sched paper build --scale 0.05 --jobs 4  # build every paper artifact
     repro-sched paper build --only fig08,table1
     repro-sched paper list                      # the artifact registry
@@ -38,7 +40,9 @@ from . import artifacts as A
 from .campaign import (
     CampaignCache,
     CampaignSpec,
+    RetryPolicy,
     aggregate_rows,
+    default_journal_dir,
     run_campaign,
 )
 from .experiments import figures as F
@@ -234,6 +238,22 @@ def cmd_export(args) -> int:
     return 0
 
 
+def _retry_policy(args) -> "RetryPolicy":
+    """The :class:`RetryPolicy` described by ``--retries``/``--timeout``."""
+    return RetryPolicy(max_attempts=args.retries + 1, timeout=args.timeout)
+
+
+def _add_robustness_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--retries", type=int, default=2,
+                   help="extra attempts per failed cell (0 = fail fast)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-cell wall-clock budget in seconds "
+                        "(pool mode only; default: unlimited)")
+    p.add_argument("--resume", action="store_true",
+                   help="replay completed cells from this grid's run "
+                        "journal before executing the rest")
+
+
 def cmd_sweep(args) -> int:
     spec = CampaignSpec.from_json(args.spec)
     cache = None if args.no_cache else CampaignCache(args.cache_dir)
@@ -243,7 +263,7 @@ def cmd_sweep(args) -> int:
         if not args.quiet:
             if not meter:
                 meter.append(ProgressMeter(total))
-            tag = "cache" if source == "cache" else "run  "
+            tag = {"cache": "cache", "journal": "jrnl "}.get(source, "run  ")
             print(f"[sweep] {done:>4}/{total} {tag} {cell.label()} "
                   f"— {meter[0].note(done)}", flush=True)
 
@@ -253,6 +273,10 @@ def cmd_sweep(args) -> int:
         cache=cache,
         force=args.force,
         progress=progress,
+        retry=_retry_policy(args),
+        keep_going=args.keep_going,
+        resume=args.resume,
+        journal_dir=default_journal_dir(cache),
     )
     doc = result.aggregate()
 
@@ -263,6 +287,12 @@ def cmd_sweep(args) -> int:
     )
     if args.stats and result.stats is not None:
         print(result.stats.render())
+    if result.n_failed:
+        for f in result.report.failures:
+            print(f"[sweep] FAILED {f.cell.label()} [{f.kind}] after "
+                  f"{f.attempts} attempt(s): {f.error}", file=sys.stderr)
+        print(f"[sweep] partial result: {result.n_failed} cells missing "
+              f"from aggregates", file=sys.stderr)
     def _group_label(g) -> str:
         wl = g["workload"]
         head = wl.get("scenario") or wl["kind"]
@@ -294,6 +324,32 @@ def cmd_sweep(args) -> int:
         wrote.append(args.csv)
     for path in wrote:
         print(f"wrote {path}")
+    return 1 if result.n_failed else 0
+
+
+def cmd_cache_verify(args) -> int:
+    cache = CampaignCache(args.cache_dir)
+    audit = cache.verify()
+    if args.json:
+        print(json.dumps(audit.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"[cache] {cache.root}: {audit.n_entries} entries — "
+              f"{audit.n_ok} ok, {audit.n_corrupt} corrupt, "
+              f"{audit.n_other_schema} other-schema, "
+              f"{audit.n_tmp} tmp orphan(s)")
+        for key, why in audit.corrupt:
+            print(f"[cache] corrupt {key[:16]}…: {why}")
+    return 1 if audit.corrupt else 0
+
+
+def cmd_cache_prune(args) -> int:
+    cache = CampaignCache(args.cache_dir)
+    audit = cache.prune(quarantine=args.quarantine)
+    action = "quarantined" if args.quarantine else "removed"
+    print(f"[cache] {cache.root}: {action} {audit.n_corrupt} corrupt "
+          f"entr{'y' if audit.n_corrupt == 1 else 'ies'}, reaped "
+          f"{audit.n_tmp} tmp orphan(s) "
+          f"({audit.n_ok} of {audit.n_entries} entries ok)")
     return 0
 
 
@@ -435,7 +491,7 @@ def cmd_paper_build(args) -> int:
         if not args.quiet:
             if not meter:
                 meter.append(ProgressMeter(total))
-            tag = "cache" if source == "cache" else "run  "
+            tag = {"cache": "cache", "journal": "jrnl "}.get(source, "run  ")
             print(f"[paper] {done:>3}/{total} {tag} {cell.label()} "
                   f"— {meter[0].note(done)}", flush=True)
 
@@ -449,6 +505,8 @@ def cmd_paper_build(args) -> int:
             force=args.force,
             check=args.check,
             progress=progress,
+            retry=_retry_policy(args),
+            resume=args.resume,
         )
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
@@ -606,8 +664,37 @@ def build_parser() -> argparse.ArgumentParser:
                     help="suppress per-cell progress lines")
     sw.add_argument("--stats", action="store_true",
                     help="print the run-stats block (cache hits, cell-time "
-                         "percentiles, worker utilization)")
+                         "percentiles, worker utilization, recovery counts)")
+    _add_robustness_args(sw)
+    sw.add_argument("--keep-going", action="store_true",
+                    help="on terminal cell failures, aggregate what "
+                         "completed (with an explicit 'incomplete' block) "
+                         "instead of raising")
     sw.set_defaults(fn=cmd_sweep)
+
+    ca = sub.add_parser(
+        "cache", help="inspect and repair the campaign cell cache",
+    )
+    casub = ca.add_subparsers(dest="cache_command", required=True)
+
+    cv = casub.add_parser(
+        "verify", help="checksum-verify every cache entry (read-only)",
+    )
+    cv.add_argument("--cache-dir", default=None,
+                    help="cache root (default ~/.cache/repro-campaign)")
+    cv.add_argument("--json", action="store_true",
+                    help="print the audit as JSON")
+    cv.set_defaults(fn=cmd_cache_verify)
+
+    cp = casub.add_parser(
+        "prune", help="remove corrupt entries and reap tmp orphans",
+    )
+    cp.add_argument("--cache-dir", default=None,
+                    help="cache root (default ~/.cache/repro-campaign)")
+    cp.add_argument("--quarantine", action="store_true",
+                    help="move corrupt entries to <root>/quarantine/ "
+                         "instead of deleting them")
+    cp.set_defaults(fn=cmd_cache_prune)
 
     pp = sub.add_parser(
         "paper",
@@ -642,7 +729,8 @@ def build_parser() -> argparse.ArgumentParser:
                     help="suppress per-cell and per-artifact lines")
     pb.add_argument("--stats", action="store_true",
                     help="print the run-stats block (cache hits, cell-time "
-                         "percentiles, worker utilization)")
+                         "percentiles, worker utilization, recovery counts)")
+    _add_robustness_args(pb)
     pb.set_defaults(fn=cmd_paper_build)
 
     pl = ppsub.add_parser("list", help="list registered paper artifacts")

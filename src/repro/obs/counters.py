@@ -148,6 +148,10 @@ CATALOG: Tuple[Tuple[str, str], ...] = (
     ("fsp.settle", "one fluid-drain step of the FSP virtual machine"),
     ("fsp.virtual_complete", "one job finishing in the FSP virtual machine"),
     ("rr.rotate", "one round-robin rotation scan over user lanes"),
+    ("campaign.retry", "one campaign cell retried after a failure"),
+    ("campaign.pool_rebuild", "one worker pool rebuilt after loss/timeout"),
+    ("campaign.timeout", "one cell killed by the wall-clock watchdog"),
+    ("campaign.quarantined", "one cell quarantined (deterministic failure)"),
 )
 
 #: just the names, for membership checks.

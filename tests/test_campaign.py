@@ -255,10 +255,10 @@ class TestExecutor:
 
         real = ex._run_cell_timed
 
-        def flaky(cell):
+        def flaky(cell, key=None, attempt=0, inline=True):
             if cell.policy == "fcfs.nobackfill":
                 raise RuntimeError("boom")
-            return real(cell)
+            return real(cell, key, attempt, inline)
 
         monkeypatch.setattr(ex, "_run_cell_timed", flaky)
         spec = small_spec(workloads=[{"kind": "random", "n_jobs": 20,
@@ -268,6 +268,28 @@ class TestExecutor:
                            match=r"1/2 campaign cells failed.*fcfs\.nobackfill"):
             run_campaign(spec, jobs=1, cache=cache)
         assert len(cache) == 1  # the healthy cell's metrics were kept
+
+    def test_failure_carries_full_failure_list(self, tmp_path, monkeypatch):
+        from repro.campaign import executor as ex
+        from repro.campaign.retry import CellFailure, RetryPolicy
+
+        def always_boom(cell, key=None, attempt=0, inline=True):
+            raise ValueError(f"boom for {cell.policy}")
+
+        monkeypatch.setattr(ex, "_run_cell_timed", always_boom)
+        spec = small_spec(workloads=[{"kind": "random", "n_jobs": 20,
+                                      "system_size": 16, "seeds": [1]}])
+        with pytest.raises(RuntimeError) as ei:
+            run_campaign(spec, jobs=1, cache=None,
+                         retry=RetryPolicy(max_attempts=1))
+        failures = ei.value.failures
+        assert len(failures) == 2
+        assert all(isinstance(f, CellFailure) for f in failures)
+        assert {f.error for f in failures} == {
+            "ValueError: boom for easy.fcfs",
+            "ValueError: boom for fcfs.nobackfill",
+        }
+        assert isinstance(ei.value.__cause__, ValueError)
 
     def test_raising_progress_callback_does_not_abort(self, tmp_path):
         def bad_progress(done, total, cell, source, elapsed):

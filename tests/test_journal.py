@@ -1,0 +1,136 @@
+"""Crash-safe run journal: append, read back, torn tails, resume sets."""
+
+from __future__ import annotations
+
+import json
+
+from repro.campaign.journal import JOURNAL_SCHEMA, RunJournal
+
+
+def _keys(n):
+    return [f"{i:064x}" for i in range(n)]
+
+
+class TestRoundTrip:
+    def test_records_read_back(self, tmp_path):
+        keys = _keys(3)
+        j = RunJournal(tmp_path / "run.jsonl")
+        j.begin(keys)
+        j.record(keys[0], {"m": 1}, "run")
+        j.record(keys[1], {"m": 2}, "cache")
+        j.record_failure(keys[2], "error", "ValueError: boom", 3, False)
+        j.end(completed=2, failed=1)
+        j.close()
+
+        state = RunJournal.read(tmp_path / "run.jsonl")
+        assert state.run_id == RunJournal.run_id(keys)
+        assert state.headers[0]["schema"] == JOURNAL_SCHEMA
+        assert state.cells == {keys[0]: {"m": 1}, keys[1]: {"m": 2}}
+        assert state.failures[keys[2]]["error"] == "ValueError: boom"
+        assert state.ended
+        assert state.torn_lines == 0
+
+    def test_run_id_ignores_key_order(self):
+        assert RunJournal.run_id(["b", "a"]) == RunJournal.run_id(["a", "b"])
+
+    def test_at_names_by_run_id(self, tmp_path):
+        keys = _keys(2)
+        j = RunJournal.at(tmp_path, keys)
+        assert j.path.name == f"{RunJournal.run_id(keys)[:16]}.jsonl"
+
+    def test_later_success_clears_earlier_failure(self, tmp_path):
+        keys = _keys(1)
+        j = RunJournal(tmp_path / "run.jsonl")
+        j.begin(keys)
+        j.record_failure(keys[0], "error", "boom", 1, False)
+        j.record(keys[0], {"m": 1}, "run")
+        j.close()
+        state = RunJournal.read(j.path)
+        assert keys[0] in state.cells
+        assert keys[0] not in state.failures
+
+
+class TestCrashSafety:
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        keys = _keys(2)
+        j = RunJournal(tmp_path / "run.jsonl")
+        j.begin(keys)
+        j.record(keys[0], {"m": 1}, "run")
+        j.close()
+        with open(j.path, "a") as fh:
+            fh.write('{"ev": "cell", "key": "' + keys[1] + '", "metr')
+
+        state = RunJournal.read(j.path)
+        assert state.cells == {keys[0]: {"m": 1}}
+        assert state.torn_lines == 1
+
+    def test_missing_journal_reads_empty(self, tmp_path):
+        state = RunJournal.read(tmp_path / "absent.jsonl")
+        assert state.cells == {} and state.headers == []
+
+
+class TestResume:
+    def test_completed_cells_filters_to_wanted_keys(self, tmp_path):
+        keys = _keys(3)
+        j = RunJournal(tmp_path / "run.jsonl")
+        j.begin(keys)
+        j.record(keys[0], {"m": 1}, "run")
+        j.record(keys[2], {"m": 3}, "run")
+        j.close()
+        got = j.completed_cells(keys[:2])
+        assert got == {keys[0]: {"m": 1}}
+
+    def test_resuming_appends_instead_of_truncating(self, tmp_path):
+        keys = _keys(2)
+        j = RunJournal(tmp_path / "run.jsonl")
+        j.begin(keys)
+        j.record(keys[0], {"m": 1}, "run")
+        j.close()
+
+        j2 = RunJournal(tmp_path / "run.jsonl")
+        j2.begin(keys, resuming=True)
+        j2.record(keys[1], {"m": 2}, "run")
+        j2.end(completed=2, failed=0)
+        j2.close()
+
+        state = RunJournal.read(j2.path)
+        assert len(state.headers) == 2
+        assert state.headers[1]["resumed"] is True
+        assert state.cells == {keys[0]: {"m": 1}, keys[1]: {"m": 2}}
+
+    def test_fresh_begin_truncates(self, tmp_path):
+        keys = _keys(1)
+        j = RunJournal(tmp_path / "run.jsonl")
+        j.begin(keys)
+        j.record(keys[0], {"m": 1}, "run")
+        j.close()
+        j2 = RunJournal(tmp_path / "run.jsonl")
+        j2.begin(keys, resuming=False)
+        j2.close()
+        assert RunJournal.read(j2.path).cells == {}
+
+    def test_foreign_journal_warns_but_reuses_exact_keys(
+            self, tmp_path, caplog):
+        mine, theirs = _keys(4)[:2], _keys(4)[2:]
+        j = RunJournal(tmp_path / "run.jsonl")
+        j.begin(theirs + mine[:1])
+        j.record(mine[0], {"m": 1}, "run")
+        j.record(theirs[0], {"m": 9}, "run")
+        j.close()
+
+        with caplog.at_level("WARNING"):
+            got = RunJournal(tmp_path / "run.jsonl").completed_cells(mine)
+        assert got == {mine[0]: {"m": 1}}
+        assert any("different grid" in r.message for r in caplog.records)
+
+    def test_every_record_is_one_flushed_line(self, tmp_path):
+        keys = _keys(2)
+        j = RunJournal(tmp_path / "run.jsonl")
+        j.begin(keys)
+        j.record(keys[0], {"m": 1}, "run")
+        # read while still open: the flush-per-line contract means a
+        # concurrent reader (or a post-crash resume) sees whole records
+        lines = [ln for ln in j.path.read_text().splitlines() if ln]
+        j.close()
+        assert len(lines) == 2
+        assert all(json.loads(ln) for ln in lines)

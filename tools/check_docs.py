@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Docs-consistency checks (run by the CI `docs` job and usable locally).
 
-Six checks:
+Seven checks:
 
 1. **Scenario catalog** — every scenario registered in
    ``repro.scenarios`` must appear (as `` `name` ``) in
@@ -24,6 +24,11 @@ Six checks:
    key in ``repro.sched.registry`` and every hybrid-FST reference order
    in ``repro.metrics`` (as `` `name` ``), so the scheduler catalog
    cannot drift.
+7. **Robustness docs** — docs/ROBUSTNESS.md must document every fault
+   site and kind in ``repro.campaign.faults`` (as `` `name` ``) plus
+   the resume/cache-maintenance entry points, and docs/ARCHITECTURE.md
+   must carry a Robustness section, so the fault-plan contract cannot
+   drift.
 
 Exit status 0 = consistent; 1 = problems (all listed on stderr).
 
@@ -174,10 +179,40 @@ def check_scheduler_docs() -> list[str]:
     return problems
 
 
+def check_robustness_docs() -> list[str]:
+    from repro.campaign.faults import FAULT_KINDS, FAULT_SITES, PLAN_ENV
+
+    doc_path = ROOT / "docs" / "ROBUSTNESS.md"
+    if not doc_path.is_file():
+        return ["missing docs/ROBUSTNESS.md"]
+    doc = doc_path.read_text()
+    problems = [
+        f"docs/ROBUSTNESS.md: fault site `{name}` is not documented"
+        for name in FAULT_SITES
+        if f"`{name}`" not in doc
+    ]
+    problems += [
+        f"docs/ROBUSTNESS.md: fault kind `{name}` is not documented"
+        for name in FAULT_KINDS
+        if f"`{name}`" not in doc
+    ]
+    for needle in (PLAN_ENV, "--resume", "--keep-going",
+                   "repro cache verify", "repro cache prune"):
+        if needle not in doc:
+            problems.append(f"docs/ROBUSTNESS.md: does not mention `{needle}`")
+    arch = ROOT / "docs" / "ARCHITECTURE.md"
+    if not arch.is_file() or "## Robustness" not in arch.read_text():
+        problems.append(
+            "docs/ARCHITECTURE.md: missing a '## Robustness' section"
+        )
+    return problems
+
+
 def main() -> int:
     problems = (check_scenario_catalog() + check_links()
                 + check_performance_docs() + check_pipeline_docs()
-                + check_observability_docs() + check_scheduler_docs())
+                + check_observability_docs() + check_scheduler_docs()
+                + check_robustness_docs())
     for p in problems:
         print(f"[check-docs] {p}", file=sys.stderr)
     if problems:
