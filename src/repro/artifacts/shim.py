@@ -49,16 +49,10 @@ def _artifact_suite(art, request):
         return {}
     if art.options == RunOptions():
         return request.getfixturevalue("suite")
-    opts = art.options
     return cached_suite(
         request.getfixturevalue("workload"),
         art.policies,
-        estimate_mode=opts.estimate_mode,
-        epsilon=opts.epsilon,
-        kill_policy=opts.kill_policy,
-        scheduler_overrides=opts.scheduler_overrides,
-        validate=opts.validate,
-        reference_orders=opts.reference_orders,
+        **art.options.as_run_kwargs(),
     )
 
 

@@ -46,7 +46,6 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..experiments.export import policy_run_record
-from ..experiments.runner import run_policy_with_options
 from ..obs import counters as _counters
 from ..obs.log import get_logger
 from ..obs.stats import timing_summary, utilization
@@ -112,9 +111,13 @@ def run_cell(cell: CampaignCell) -> Dict[str, object]:
     Pure top-level function — picklable for process pools, and the single
     implementation behind both ``--jobs 1`` and ``--jobs N``.
     """
+    from .. import api  # deferred: the facade imports campaign lazily too
+
     wl = _cell_workload(cell)
-    run = run_policy_with_options(wl, cell.policy, cell.options)
-    return policy_run_record(run)
+    handle = api.run(api.SimulationRequest(
+        policy=cell.policy, workload=wl, options=cell.options,
+    ))
+    return policy_run_record(handle.run)
 
 
 def _run_cell_timed(

@@ -24,7 +24,6 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..core.engine import KillPolicy
 from ..experiments.runner import RunOptions
 from ..scenarios import get_scenario
 from ..sched.registry import get_policy, validate_overrides
@@ -295,18 +294,9 @@ class CampaignSpec:
             raise ValueError("campaign needs at least one workload")
         if self.replications < 1:
             raise ValueError("replications must be >= 1")
-        if self.estimate_mode not in ("perfect", "wcl"):
-            raise ValueError(
-                f"unknown estimate_mode {self.estimate_mode!r}; "
-                f"known: 'perfect', 'wcl'"
-            )
-        try:
-            KillPolicy[str(self.kill_policy).upper()]
-        except KeyError:
-            raise ValueError(
-                f"unknown kill_policy {self.kill_policy!r}; "
-                f"known: {', '.join(k.name for k in KillPolicy)}"
-            ) from None
+        # the shared option parser rejects bad values with structured
+        # errors naming the key (same messages on every surface)
+        self._options(variant={})
         self.policies = tuple(self.policies)
         self.workloads = tuple(self.workloads)
         self.overrides = tuple(
@@ -418,6 +408,16 @@ class CampaignSpec:
                 if variant:
                     validate_overrides(key, variant)
 
+    def _options(self, variant: Mapping[str, object]) -> RunOptions:
+        """The engine options of one grid cell, via the shared parser."""
+        return RunOptions.from_mapping({
+            "estimate_mode": self.estimate_mode,
+            "epsilon": self.epsilon,
+            "kill_policy": self.kill_policy,
+            "scheduler_overrides": dict(variant),
+            "validate": self.validate_engine,
+        })
+
     def expand(self) -> List[CampaignCell]:
         """The full grid as independent cells, in deterministic order."""
         variants = self.variants()
@@ -426,13 +426,7 @@ class CampaignSpec:
         for wspec in self.workloads:
             for seed in wspec.effective_seeds(self.replications):
                 for variant in variants:
-                    options = RunOptions(
-                        estimate_mode=self.estimate_mode,
-                        epsilon=self.epsilon,
-                        kill_policy=self.kill_policy,
-                        scheduler_overrides=tuple(variant.items()),
-                        validate=self.validate_engine,
-                    )
+                    options = self._options(variant)
                     for policy in self.policies:
                         cells.append(
                             CampaignCell(

@@ -43,7 +43,6 @@ from .campaign import (
     RetryPolicy,
     aggregate_rows,
     default_journal_dir,
-    run_campaign,
 )
 from .experiments import figures as F
 from .experiments.export import (
@@ -53,10 +52,9 @@ from .experiments.export import (
     export_suite_csv,
     export_suite_json,
 )
-from .experiments.runner import run_policy, run_scenario, run_suite
+from . import api
 from .obs import collect_counters, render_counters, setup_logging
 from .obs.stats import ProgressMeter
-from .scenarios import all_scenarios, get_scenario
 from .workload.analysis import render_analysis
 from .experiments.tables import (
     render_table1,
@@ -92,32 +90,18 @@ def cmd_generate(args) -> int:
     return 0
 
 
-def _print_policy_report(key: str, run) -> None:
-    """The standard per-policy report (shared by `run` and `scenarios run`)."""
-    s, f = run.summary, run.fairness
-    print(f"policy: {key}")
-    print(f"  jobs completed        : {s.n_jobs}")
-    print(f"  avg wait              : {s.avg_wait:,.0f} s")
-    print(f"  avg turnaround (Eq.1) : {s.avg_turnaround:,.0f} s")
-    print(f"  avg bounded slowdown  : {s.avg_slowdown:,.1f}")
-    print(f"  utilization (Eq.2)    : {100 * s.utilization:.1f} %")
-    print(f"  loss of capacity(Eq.4): {100 * run.loss_of_capacity:.2f} %")
-    print(f"  percent unfair jobs   : {100 * f.percent_unfair:.2f} %")
-    print(f"  avg miss time (Eq.5)  : {f.average_miss_time:,.0f} s")
-
-
 def cmd_run(args) -> int:
     wl = _load_workload(args)
     print(wl.describe())
     if args.stats:
         with collect_counters() as counters:
-            run = run_policy(wl, args.policy)
-        _print_policy_report(args.policy, run)
+            handle = api.run(policy=args.policy, workload=wl)
+        print(handle.report())
         print("hot-path counters:")
         print(render_counters(counters))
     else:
-        run = run_policy(wl, args.policy)
-        _print_policy_report(args.policy, run)
+        handle = api.run(policy=args.policy, workload=wl)
+        print(handle.report())
     return 0
 
 
@@ -128,7 +112,7 @@ def cmd_trace_run(args) -> int:
     wl = _load_workload(args)
     print(wl.describe())
     obs = TraceObserver(args.out or None, meta={"workload": wl.name})
-    run_policy(wl, args.policy, observers=[obs])
+    api.run(policy=args.policy, workload=wl, observers=(obs,))
     if args.out:
         records = list(read_trace(args.out))
         print(f"wrote {args.out} ({len(records)} records)")
@@ -157,7 +141,7 @@ def cmd_compare(args) -> int:
     wl = _load_workload(args)
     print(wl.describe())
     keys = args.policies.split(",") if args.policies else list(PAPER_POLICIES)
-    suite = run_suite(wl, keys, progress=True)
+    suite = api.compare(keys, workload=wl, progress=True)
     hdr = (f"{'policy':<24}{'%unfair':>9}{'avg miss':>12}{'avg TAT':>12}"
            f"{'LOC%':>8}{'util%':>8}")
     print(hdr)
@@ -173,7 +157,7 @@ def cmd_compare(args) -> int:
 def cmd_figures(args) -> int:
     wl = _load_workload(args)
     print(wl.describe())
-    suite = run_suite(wl, PAPER_POLICIES, progress=True)
+    suite = api.compare(PAPER_POLICIES, workload=wl, progress=True)
     baseline = suite["cplant24.nomax.all"]
     sections = [
         F.render_fig03(F.fig03_weekly_load(baseline, wl)),
@@ -217,7 +201,7 @@ def cmd_export(args) -> int:
     wl = _load_workload(args)
     print(wl.describe())
     keys = args.policies.split(",") if args.policies else list(PAPER_POLICIES)
-    suite = run_suite(wl, keys, progress=True)
+    suite = api.compare(keys, workload=wl, progress=True)
     wrote = []
     if args.json:
         export_suite_json(suite, args.json)
@@ -267,7 +251,7 @@ def cmd_sweep(args) -> int:
             print(f"[sweep] {done:>4}/{total} {tag} {cell.label()} "
                   f"— {meter[0].note(done)}", flush=True)
 
-    result = run_campaign(
+    result = api.sweep(
         spec,
         jobs=args.jobs,
         cache=cache,
@@ -429,7 +413,7 @@ def _parse_param_sets(items) -> dict:
 
 def cmd_scenarios_list(_args) -> int:
     print(f"{'scenario':<24}{'axis':<28}{'parameters'}")
-    for sc in all_scenarios():
+    for sc in api.list_scenarios():
         params = ", ".join(f"{p.name}={p.default}" for p in sc.params) or "-"
         print(f"{sc.name:<24}{sc.axis:<28}{params}")
     print("\nrepro scenarios describe <name> for the full recipe; "
@@ -438,27 +422,28 @@ def cmd_scenarios_list(_args) -> int:
 
 
 def cmd_scenarios_describe(args) -> int:
-    print(get_scenario(args.name).describe())
+    print(api.get_scenario(args.name).describe())
     return 0
 
 
 def cmd_scenarios_run(args) -> int:
     params = _parse_param_sets(args.set)
-    sc = get_scenario(args.name)  # unknown name dies before any simulation
+    sc = api.get_scenario(args.name)  # unknown name dies before any simulation
     keys = args.policies.split(",") if args.policies else ["cplant24.nomax.all"]
     print(sc.build(seed=args.seed, **params).describe())
     # rebuilds the workload (generation is cheap next to simulation) so the
-    # scenario-option merge semantics live in run_scenario alone
-    suite = run_scenario(args.name, keys, seed=args.seed, params=params,
-                         progress=len(keys) > 1)
-    for key, run in suite.items():
-        _print_policy_report(key, run)
+    # scenario-option merge semantics live in the facade alone
+    suite = api.compare(keys, scenario=args.name, seed=args.seed,
+                        params=tuple(params.items()),
+                        progress=len(keys) > 1)
+    for handle in suite.values():
+        print(handle.report())
     return 0
 
 
 def cmd_scenarios_export(args) -> int:
     params = _parse_param_sets(args.set)
-    wl = get_scenario(args.name).build(seed=args.seed, **params)
+    wl = api.get_scenario(args.name).build(seed=args.seed, **params)
     out = args.out or f"{args.name}.swf"
     write_swf(wl, out)
     print(wl.describe())
@@ -496,7 +481,7 @@ def cmd_paper_build(args) -> int:
                   f"— {meter[0].note(done)}", flush=True)
 
     try:
-        result = A.build_artifacts(
+        result = api.build_artifacts(
             only=only,
             config=config,
             out_dir=args.out_dir,
@@ -557,6 +542,23 @@ def cmd_paper_diff(args) -> int:
     doc = A.load_manifest(args.out_dir)
     print(f"[paper-diff] {args.out_dir} matches its manifest "
           f"({len(doc['artifacts'])} artifacts)")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    overrides = {}
+    if args.estimate_mode:
+        overrides["estimate_mode"] = args.estimate_mode
+    if args.epsilon is not None:
+        overrides["epsilon"] = args.epsilon
+    api.serve(
+        host=args.host,
+        port=args.port,
+        policy=args.policy,
+        system_size=args.system_size,
+        options=overrides or None,
+        max_pending=args.max_pending,
+    )
     return 0
 
 
@@ -777,6 +779,25 @@ def build_parser() -> argparse.ArgumentParser:
     mx.add_argument("--quiet", action="store_true",
                     help="suppress per-cell progress lines")
     mx.set_defaults(fn=cmd_matrix)
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the multi-tenant scheduler server (line-JSON over TCP)",
+    )
+    sv.add_argument("--host", default="127.0.0.1", help="bind address")
+    sv.add_argument("--port", type=int, default=0,
+                    help="bind port (0 = ephemeral, announced on stdout)")
+    sv.add_argument("--policy", default="easy.fairshare",
+                    help="scheduling policy for the shared simulation")
+    sv.add_argument("--system-size", type=int, default=1024,
+                    help="cluster size in nodes")
+    sv.add_argument("--max-pending", type=int, default=512,
+                    help="per-tenant pending-buffer bound (backpressure)")
+    sv.add_argument("--estimate-mode", default=None,
+                    choices=["perfect", "wcl"], help="FST estimate mode")
+    sv.add_argument("--epsilon", type=float, default=None,
+                    help="fairness tolerance (seconds)")
+    sv.set_defaults(fn=cmd_serve)
 
     ls = sub.add_parser("policies", help="list known policies")
     ls.set_defaults(fn=cmd_policies)

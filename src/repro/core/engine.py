@@ -14,8 +14,19 @@ like a user resubmitting from a checkpoint.
 
 from __future__ import annotations
 
+import copy
 import enum
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+import math
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
 
 from ..obs import counters as _counters
 from .cluster import Cluster
@@ -42,8 +53,16 @@ class KillPolicy(enum.Enum):
     IF_NEEDED = "if_needed"
 
 
-class Observer:
-    """Passive simulation listener; all hooks are optional overrides.
+@runtime_checkable
+class Observer(Protocol):
+    """The frozen engine observer contract; all hooks are optional overrides.
+
+    This is a :func:`typing.runtime_checkable` Protocol: anything passed as
+    an engine observer — metric observers, :class:`repro.obs.trace.
+    TraceObserver`, service subscribers — must satisfy it structurally, and
+    the engine enforces ``isinstance(obs, Observer)`` at construction.  The
+    easiest way to conform is to subclass ``Observer`` and inherit the
+    no-op defaults; a pure-structural conformer must implement every hook.
 
     The telemetry hooks (``on_schedule_pass``, ``on_kill``,
     ``on_chunk_chain``) are only invoked for observers that actually
@@ -73,6 +92,13 @@ class Observer:
         """A completed chunk submitting its chain successor."""
 
 
+#: every hook an :class:`Observer` must expose (the protocol surface)
+OBSERVER_HOOKS: Tuple[str, ...] = (
+    "on_attach", "on_arrival", "on_start", "on_completion", "on_end",
+    "collect", "on_schedule_pass", "on_kill", "on_chunk_chain",
+)
+
+
 class Engine:
     """Run one workload through one scheduler on one cluster."""
 
@@ -100,41 +126,32 @@ class Engine:
         self.now = 0.0
         self.events = EventQueue()
         self._events_processed = 0
-        self._jobs: List[Job] = [j.fresh_copy() for j in jobs]
+        self._jobs: List[Job] = []
+        self._job_ids: set = set()
         self._started_this_pass: List[Job] = []
-        self._outstanding = len(self._jobs)
-
-        oversized = [j.id for j in self._jobs if j.nodes > cluster.size]
-        if oversized:
-            raise ValueError(
-                f"jobs wider than the cluster ({cluster.size} nodes): {oversized[:5]}"
-            )
+        self._outstanding = 0
+        self._result: Optional[SimulationResult] = None
 
         # chunk chains: (parent_id, chunk_index) -> job; chunks beyond the
         # first are submitted when their predecessor completes.
         self._successors: Dict[Tuple[int, int], Job] = {}
-        chains: Dict[int, List[Job]] = {}
-        for job in self._jobs:
-            if job.is_chunk and job.chunk_index > 0:
-                self._successors[(job.parent_id, job.chunk_index)] = job
-            if job.is_chunk:
-                chains.setdefault(job.parent_id, []).append(job)
         # chain-tail work after each chunk (fairness observers treat a chunk
         # chain as one contiguous trace job in their hypothetical schedules)
         self._tail_runtime: Dict[int, float] = {}
         self._tail_wcl: Dict[int, float] = {}
-        for chunks in chains.values():
-            chunks.sort(key=lambda c: c.chunk_index)
-            rt = wcl = 0.0
-            for c in reversed(chunks):
-                self._tail_runtime[c.id] = rt
-                self._tail_wcl[c.id] = wcl
-                rt += c.runtime
-                wcl += c.wcl
 
-        for job in self._jobs:
-            if not (job.is_chunk and job.chunk_index > 0):
-                self.events.push(job.submit_time, EventKind.ARRIVAL, job)
+        self._register(jobs)
+
+        for obs in self.observers:
+            if not isinstance(obs, Observer):
+                missing = [
+                    h for h in OBSERVER_HOOKS
+                    if not callable(getattr(obs, h, None))
+                ]
+                raise TypeError(
+                    f"{type(obs).__name__} does not satisfy the Observer "
+                    f"protocol; missing hooks: {missing}"
+                )
 
         # telemetry hook dispatch lists: only observers that override a
         # hook are called, so the common (untraced) run never pays for
@@ -155,6 +172,148 @@ class Engine:
         scheduler.attach(self)
         for obs in self.observers:
             obs.on_attach(self)
+
+    # -- job registration (shared by the constructor and ingest) ---------------
+
+    def _register(self, jobs: Sequence[Job]) -> List[Job]:
+        """Fresh-copy, validate, and queue a batch of jobs for arrival.
+
+        A chunk chain must be registered whole in one batch (the
+        runtime-limit transform emits them together); only the head chunk
+        gets an arrival event, successors are submitted on completion.
+        """
+        fresh = [j.fresh_copy() for j in jobs]
+
+        oversized = [j.id for j in fresh if j.nodes > self.cluster.size]
+        if oversized:
+            raise ValueError(
+                f"jobs wider than the cluster ({self.cluster.size} nodes): "
+                f"{oversized[:5]}"
+            )
+        dupes = [j.id for j in fresh if j.id in self._job_ids]
+        if dupes:
+            raise ValueError(f"duplicate job ids: {dupes[:5]}")
+
+        chains: Dict[int, List[Job]] = {}
+        for job in fresh:
+            if job.is_chunk and job.chunk_index > 0:
+                self._successors[(job.parent_id, job.chunk_index)] = job
+            if job.is_chunk:
+                chains.setdefault(job.parent_id, []).append(job)
+        for chunks in chains.values():
+            chunks.sort(key=lambda c: c.chunk_index)
+            rt = wcl = 0.0
+            for c in reversed(chunks):
+                self._tail_runtime[c.id] = rt
+                self._tail_wcl[c.id] = wcl
+                rt += c.runtime
+                wcl += c.wcl
+
+        for job in fresh:
+            if not (job.is_chunk and job.chunk_index > 0):
+                self.events.push(job.submit_time, EventKind.ARRIVAL, job)
+            self._job_ids.add(job.id)
+        self._jobs.extend(fresh)
+        self._outstanding += len(fresh)
+        return fresh
+
+    # -- incremental lifecycle --------------------------------------------------
+    #
+    # ``run()`` is the classic one-shot entry point.  The service layer
+    # drives the same engine incrementally instead:
+    #
+    #     engine.start()
+    #     engine.ingest(batch_1); engine.step_until(t1)
+    #     engine.ingest(batch_2); engine.step_until(t2)
+    #     result = engine.finish()
+    #
+    # State persists between arrivals — nothing is rebuilt per batch — and
+    # a step-driven run over the same job set processes exactly the events
+    # a one-shot ``run()`` would, in the same order, so results (and
+    # digests) are byte-identical.
+
+    @property
+    def finished(self) -> bool:
+        return self._result is not None
+
+    def start(self) -> "Engine":
+        """Mark the engine live for incremental driving (idempotent).
+
+        Construction already primes every structure; this exists so the
+        incremental lifecycle reads ``start / ingest / step_until /
+        finish`` and can grow pre-flight work without an API break.
+        """
+        if self._result is not None:
+            raise RuntimeError("engine already finished")
+        return self
+
+    def ingest(self, jobs: Sequence[Job]) -> List[Job]:
+        """Submit more jobs to a live engine; returns the engine's copies.
+
+        Jobs must arrive in the simulation's future (``submit_time >=
+        now``) — the clock never rewinds.  Ingesting the full trace up
+        front and stepping is equivalent to a one-shot :meth:`run`.
+        """
+        if self._result is not None:
+            raise RuntimeError("cannot ingest into a finished engine")
+        late = [j.id for j in jobs
+                if not (j.is_chunk and j.chunk_index > 0)
+                and j.submit_time < self.now]
+        if late:
+            raise ValueError(
+                f"cannot ingest jobs submitted before the clock "
+                f"(now={self.now}): {late[:5]}"
+            )
+        return self._register(jobs)
+
+    def step_until(self, until: float = math.inf, inclusive: bool = True) -> int:
+        """Process every due event with ``time <= until``; return the count.
+
+        The clock (``self.now``) only moves when an event is dispatched,
+        preserving the engine invariant that time advances on events.  An
+        idle engine (every ingested job completed) pauses — pending timer
+        chains are deferred, not discarded, and fire in order once new
+        work is ingested, so an incrementally-driven run dispatches the
+        exact event sequence of a one-shot run over the merged trace.
+
+        ``inclusive=False`` stops strictly *before* ``until``: a caller
+        that may still ingest jobs arriving exactly at ``until`` must not
+        process same-time timer events first, because arrivals order ahead
+        of timers at equal timestamps in a one-shot run.
+        """
+        if self._result is not None:
+            raise RuntimeError("engine already finished")
+        before = self._events_processed
+        events = self.events
+        while self._outstanding and events:
+            nxt = events.peek()
+            if nxt is None:
+                break
+            if nxt.time > until or (not inclusive and nxt.time >= until):
+                break
+            self._process(events.pop())
+        return self._events_processed - before
+
+    def finish(self) -> SimulationResult:
+        """Drain all remaining work and seal the run (idempotent)."""
+        if self._result is None:
+            self.step_until(math.inf)
+            self._result = self._finalize()
+        return self._result
+
+    def fork(self) -> "Engine":
+        """Deep-copy the live engine — cluster, scheduler, queues, pending
+        events, observers — for warm-started what-if simulation.
+
+        The fork shares nothing with the original: draining it answers
+        "what happens to the current backlog under changed settings"
+        without re-simulating completed history, while the live engine
+        keeps running.  Observers must be deep-copyable (file-backed
+        trace sinks are not; in-memory observers are).
+        """
+        if self._result is not None:
+            raise RuntimeError("cannot fork a finished engine")
+        return copy.deepcopy(self)
 
     # -- services used by schedulers -------------------------------------------
 
@@ -191,27 +350,34 @@ class Engine:
     # -- main loop -----------------------------------------------------------------
 
     def run(self) -> SimulationResult:
+        if self._result is not None:
+            raise RuntimeError("engine already finished")
         while self.events:
-            ev = self.events.pop()
-            if self.max_events is not None and self._events_processed >= self.max_events:
-                raise RuntimeError(
-                    f"exceeded max_events={self.max_events}; "
-                    "likely a scheduler livelock"
-                )
-            self._events_processed += 1
-            if ev.time < self.now:
-                raise RuntimeError(
-                    f"time went backwards: {ev.time} < {self.now} ({ev.kind})"
-                )
-            self.now = ev.time
-            self._dispatch(ev)
-            if self.validate:
-                self.cluster.check_invariants()
+            self._process(self.events.pop())
             if self._outstanding == 0:
                 # every job completed; leftover timer chains (decay ticks,
                 # starvation re-checks) would only spin the clock forward
                 break
+        self._result = self._finalize()
+        return self._result
 
+    def _process(self, ev: Event) -> None:
+        if self.max_events is not None and self._events_processed >= self.max_events:
+            raise RuntimeError(
+                f"exceeded max_events={self.max_events}; "
+                "likely a scheduler livelock"
+            )
+        self._events_processed += 1
+        if ev.time < self.now:
+            raise RuntimeError(
+                f"time went backwards: {ev.time} < {self.now} ({ev.kind})"
+            )
+        self.now = ev.time
+        self._dispatch(ev)
+        if self.validate:
+            self.cluster.check_invariants()
+
+    def _finalize(self) -> SimulationResult:
         if self.cluster.running_count:
             raise RuntimeError("event queue drained with jobs still running")
         stranded = self.scheduler.waiting_jobs()
@@ -238,6 +404,16 @@ class Engine:
         for obs in self.observers:
             obs.collect(result)
         return result
+
+    @property
+    def jobs(self) -> List[Job]:
+        """Every job registered so far (the engine's own copies)."""
+        return self._jobs
+
+    @property
+    def events_processed(self) -> int:
+        """Events dispatched so far (a fork inherits the parent's count)."""
+        return self._events_processed
 
     # -- event handling ------------------------------------------------------------
 

@@ -65,12 +65,11 @@ class MatrixConfig:
             get_reference_order(name)
 
     def options(self) -> RunOptions:
-        # "fairshare" is always evaluated (it is the primary fairness
-        # block), so pin it first for a canonical cell identity
-        orders = ("fairshare",) + tuple(
-            o for o in self.reference_orders if o != "fairshare"
+        # the shared parser pins "fairshare" (always evaluated — it is the
+        # primary fairness block) first for a canonical cell identity
+        return RunOptions.from_mapping(
+            {"reference_orders": self.reference_orders}
         )
-        return RunOptions(reference_orders=orders)
 
     def cells(self) -> List[CampaignCell]:
         """The sweep grid, in deterministic (scenario, policy) order."""

@@ -120,6 +120,120 @@ class RunOptions:
             orders = (orders,)
         object.__setattr__(self, "reference_orders", tuple(orders))
 
+    #: mapping keys :meth:`from_mapping` understands ("overrides" is the
+    #: accepted shorthand for "scheduler_overrides")
+    MAPPING_KEYS = frozenset({
+        "estimate_mode", "epsilon", "kill_policy", "scheduler_overrides",
+        "overrides", "validate", "reference_orders",
+    })
+
+    @classmethod
+    def from_mapping(
+        cls,
+        mapping: Optional[Mapping[str, object]] = None,
+        **extra: object,
+    ) -> "RunOptions":
+        """Parse loosely-typed option data (JSON specs, CLI flags, request
+        payloads) into canonical options, failing with a ``ValueError``
+        that names the offending key.
+
+        This is the single option-parsing path: the campaign spec, the
+        fairness matrix, the artifact pipeline, and the service protocol
+        all feed their mappings through here, so every surface rejects the
+        same inputs with the same messages.  ``extra`` keyword pairs merge
+        over ``mapping`` (caller overrides).
+        """
+        data: Dict[str, object] = {**dict(mapping or {}), **extra}
+        unknown = sorted(set(data) - cls.MAPPING_KEYS)
+        if unknown:
+            raise ValueError(
+                f"unknown run-option keys {unknown}; "
+                f"known: {sorted(cls.MAPPING_KEYS)}"
+            )
+
+        estimate_mode = data.get("estimate_mode", "perfect")
+        if estimate_mode not in ("perfect", "wcl"):
+            raise ValueError(
+                f"unknown estimate_mode {estimate_mode!r}; "
+                f"known: 'perfect', 'wcl'"
+            )
+
+        raw_eps = data.get("epsilon", 1.0)
+        try:
+            epsilon = float(raw_eps)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"epsilon must be a number, got {raw_eps!r}"
+            ) from None
+
+        kp = data.get("kill_policy", KillPolicy.IF_NEEDED)
+        if isinstance(kp, str):
+            try:
+                kp = KillPolicy[kp.upper()]
+            except KeyError:
+                raise ValueError(
+                    f"unknown kill_policy {kp!r}; "
+                    f"known: {', '.join(k.name for k in KillPolicy)}"
+                ) from None
+        elif not isinstance(kp, KillPolicy):
+            raise ValueError(
+                f"kill_policy must be a KillPolicy name, got {kp!r}"
+            )
+
+        if "overrides" in data and "scheduler_overrides" in data:
+            raise ValueError(
+                "give either 'scheduler_overrides' or its shorthand "
+                "'overrides', not both"
+            )
+        raw_ov = data.get("scheduler_overrides", data.get("overrides", ()))
+        try:
+            overrides = dict(raw_ov)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"scheduler_overrides must be a mapping, got {raw_ov!r}"
+            ) from None
+        bad_keys = sorted(k for k in overrides if not isinstance(k, str))
+        if bad_keys:
+            raise ValueError(
+                f"scheduler_overrides keys must be strings, got {bad_keys}"
+            )
+
+        validate = data.get("validate", False)
+        if not isinstance(validate, bool):
+            raise ValueError(f"validate must be a bool, got {validate!r}")
+
+        raw_orders = data.get("reference_orders", ("fairshare",))
+        if isinstance(raw_orders, str):
+            raw_orders = (raw_orders,)
+        try:
+            orders = [str(o) for o in raw_orders]  # type: ignore[union-attr]
+        except TypeError:
+            raise ValueError(
+                f"reference_orders must be a list of names, got {raw_orders!r}"
+            ) from None
+        from ..metrics.fairness import reference_order_names
+        known = set(reference_order_names())
+        bad_orders = sorted(set(orders) - known)
+        if bad_orders:
+            raise ValueError(
+                f"unknown reference_orders {bad_orders}; "
+                f"known: {sorted(known)}"
+            )
+        # fairshare (the paper's basis, always evaluated) pins first for a
+        # canonical identity; the rest keep caller order, deduplicated
+        canon = ("fairshare",) + tuple(
+            dict.fromkeys(o for o in orders if o != "fairshare")
+        )
+
+        return cls(
+            estimate_mode=str(estimate_mode),
+            epsilon=epsilon,
+            kill_policy=kp,
+            scheduler_overrides=tuple(overrides.items()),
+            validate=validate,
+            reference_orders=canon,
+        )
+
     def identity(self) -> Dict[str, object]:
         """JSON-safe canonical form (stable across processes and runs)."""
         out: Dict[str, object] = {
@@ -133,6 +247,22 @@ class RunOptions:
             out["reference_orders"] = list(self.reference_orders)
         return out
 
+    def as_run_kwargs(self) -> Dict[str, object]:
+        """This option set as :func:`run_policy` keyword arguments.
+
+        Values stay hashable (overrides as the canonical tuple of pairs,
+        which ``run_policy`` accepts) so the result can also key memo
+        caches like :func:`cached_suite`.
+        """
+        return {
+            "estimate_mode": self.estimate_mode,
+            "epsilon": self.epsilon,
+            "kill_policy": self.kill_policy,
+            "scheduler_overrides": self.scheduler_overrides or None,
+            "validate": self.validate,
+            "reference_orders": self.reference_orders,
+        }
+
 
 def run_policy_with_options(
     workload: Workload,
@@ -140,16 +270,7 @@ def run_policy_with_options(
     options: RunOptions,
 ) -> PolicyRun:
     """:func:`run_policy` driven by a canonical :class:`RunOptions`."""
-    return run_policy(
-        workload,
-        policy_key,
-        estimate_mode=options.estimate_mode,
-        epsilon=options.epsilon,
-        kill_policy=options.kill_policy,
-        scheduler_overrides=dict(options.scheduler_overrides) or None,
-        validate=options.validate,
-        reference_orders=options.reference_orders,
-    )
+    return run_policy(workload, policy_key, **options.as_run_kwargs())
 
 
 def _collapse_chunk_fst(
@@ -212,6 +333,31 @@ def run_policy(
         validate=validate,
     )
     result = engine.run()
+    return derive_policy_run(
+        policy_key,
+        result,
+        epsilon=epsilon,
+        reference_orders=orders,
+        split=spec.max_runtime is not None,
+    )
+
+
+def derive_policy_run(
+    policy_key: str,
+    result: SimulationResult,
+    *,
+    epsilon: float = 1.0,
+    reference_orders: Sequence[str] = ("fairshare",),
+    split: bool = False,
+) -> PolicyRun:
+    """Derive the full :class:`PolicyRun` metric bundle from a finished
+    simulation.
+
+    :func:`run_policy` is "simulate then derive"; the live service finishes
+    an incrementally-driven engine and derives from here, so both paths
+    report through the identical metric pipeline.
+    """
+    orders = tuple(reference_orders) if reference_orders else ("fairshare",)
     fst = result.fst("hybrid")
 
     # Metrics are reported per *trace* job so every policy averages over the
@@ -219,7 +365,6 @@ def run_policy(
     # For runtime-limit policies the scheduler saw chunks; collapse them:
     # the trace job's start is its first chunk's start, its completion the
     # last chunk's, and its FST the one observed at first-chunk arrival.
-    split = spec.max_runtime is not None
     metric_jobs = parent_view(result.jobs) if split else result.jobs
     metric_fst = _collapse_chunk_fst(result.jobs, fst, split)
 

@@ -24,9 +24,9 @@ from ..obs import counters as _counters
 from .fairshare import DAY, FairshareTracker
 from .queues import (
     OrderingPolicy,
+    SrptOrder,
     fcfs_order,
     make_fairshare_order,
-    make_srpt_order,
     shortest_first_order,
     widest_first_order,
 )
@@ -71,9 +71,7 @@ class BaseScheduler(SchedulerProtocol):
         elif priority == "srpt":
             # remaining estimate = own wcl + chain tail; the engine owns the
             # chain bookkeeping, and it is attached before any ordering call
-            self.ordering = make_srpt_order(
-                lambda job: self.engine.chain_tail_wcl(job)
-            )
+            self.ordering = SrptOrder(self)
         elif priority == "widest":
             self.ordering = widest_first_order
         else:

@@ -24,13 +24,27 @@ def fcfs_order(jobs: Iterable[Job], now: float) -> List[Job]:
     return sorted(jobs, key=lambda j: (j.submit_time, j.id))
 
 
+class FairshareOrder:
+    """Fairshare order bound to a live usage tracker.
+
+    A callable object rather than a closure so that a deep-copied
+    scheduler (``Engine.fork()``) re-binds to its *own* tracker copy —
+    ``copy.deepcopy`` treats plain functions as atomic, which would leave
+    a closure pointing at the original tracker.
+    """
+
+    __slots__ = ("tracker",)
+
+    def __init__(self, tracker: FairshareTracker) -> None:
+        self.tracker = tracker
+
+    def __call__(self, jobs: Iterable[Job], now: float) -> List[Job]:
+        return self.tracker.order(jobs, now)
+
+
 def make_fairshare_order(tracker: FairshareTracker) -> OrderingPolicy:
     """Fairshare order bound to a live usage tracker."""
-
-    def order(jobs: Iterable[Job], now: float) -> List[Job]:
-        return tracker.order(jobs, now)
-
-    return order
+    return FairshareOrder(tracker)
 
 
 def widest_first_order(jobs: Iterable[Job], now: float) -> List[Job]:
@@ -43,7 +57,7 @@ def shortest_first_order(jobs: Iterable[Job], now: float) -> List[Job]:
     return sorted(jobs, key=lambda j: (j.wcl, j.submit_time, j.id))
 
 
-def make_srpt_order(chain_tail: Callable[[Job], float]) -> OrderingPolicy:
+class SrptOrder:
     """Shortest-remaining-estimate-first bound to a chain-tail oracle.
 
     A queued job's remaining estimate is its own wall-clock limit plus the
@@ -51,7 +65,27 @@ def make_srpt_order(chain_tail: Callable[[Job], float]) -> OrderingPolicy:
     split job that already burned most of its chain ranks ahead of a fresh
     one of the same total length.  Both components are fixed once the job
     is enqueued, so the order only changes with queue membership.
+
+    A callable object for the same fork-safety reason as
+    :class:`FairshareOrder`: the oracle owner must follow the scheduler
+    through ``copy.deepcopy``.
     """
+
+    __slots__ = ("scheduler",)
+
+    def __init__(self, scheduler) -> None:
+        self.scheduler = scheduler
+
+    def __call__(self, jobs: Iterable[Job], now: float) -> List[Job]:
+        chain_tail = self.scheduler.engine.chain_tail_wcl
+        return sorted(
+            jobs, key=lambda j: (j.wcl + chain_tail(j), j.submit_time, j.id)
+        )
+
+
+def make_srpt_order(chain_tail: Callable[[Job], float]) -> OrderingPolicy:
+    """Shortest-remaining-estimate-first over a plain chain-tail callable
+    (kept for direct use; schedulers use :class:`SrptOrder`)."""
 
     def order(jobs: Iterable[Job], now: float) -> List[Job]:
         return sorted(

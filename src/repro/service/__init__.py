@@ -1,0 +1,32 @@
+"""Simulation-as-a-service: live sessions and the multi-tenant server.
+
+* :class:`LiveSimulation` — one incrementally-driven simulation with live
+  per-user metrics and warm-forked what-if (in-process;
+  ``repro.api.open_session`` returns one).
+* :class:`TenantMux` / :func:`merged_workload` — deterministic merge of
+  concurrent tenant submission streams, and its offline referee.
+* :class:`SchedulerService` / :func:`serve` — the asyncio line-JSON TCP
+  server (``repro serve`` on the command line).
+* :class:`ServiceClient` — the matching asyncio client.
+
+Protocol and determinism contract: docs/SERVICE.md.
+"""
+
+from .client import ServiceClient, ServiceError
+from .server import SchedulerService, serve, serve_async
+from .session import LiveSimulation
+from .tenancy import TenantError, TenantMux, build_job, default_user_id, merged_workload
+
+__all__ = [
+    "LiveSimulation",
+    "SchedulerService",
+    "ServiceClient",
+    "ServiceError",
+    "TenantError",
+    "TenantMux",
+    "build_job",
+    "default_user_id",
+    "merged_workload",
+    "serve",
+    "serve_async",
+]

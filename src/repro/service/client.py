@@ -1,0 +1,98 @@
+"""A minimal asyncio client for the scheduler server.
+
+One :class:`ServiceClient` is one tenant connection; the convenience
+methods mirror the protocol ops one-to-one.  Tests and the CI smoke
+driver use it; it is also the reference implementation for anyone
+speaking the line-JSON protocol from another language.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Mapping, Optional, Sequence
+
+
+class ServiceError(RuntimeError):
+    """The server answered ``ok: false``; carries the error code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+class ServiceClient:
+    """Line-JSON request/response over one TCP connection."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServiceClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(self, op: str, **fields: object) -> Dict[str, object]:
+        """Send one op; return the response body or raise ServiceError."""
+        self._writer.write(
+            json.dumps({"op": op, **fields}).encode() + b"\n"
+        )
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        resp = json.loads(line)
+        if not resp.get("ok"):
+            err = resp.get("error", {})
+            raise ServiceError(err.get("code", "unknown"),
+                               err.get("message", "unknown error"))
+        return resp
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # -- protocol ops ------------------------------------------------------------
+
+    async def hello(self, tenant: str,
+                    user: Optional[int] = None) -> Dict[str, object]:
+        fields: Dict[str, object] = {"tenant": tenant}
+        if user is not None:
+            fields["user"] = user
+        return await self.request("hello", **fields)
+
+    async def submit(
+        self, jobs: Sequence[Mapping[str, object]]
+    ) -> Dict[str, object]:
+        return await self.request("submit", jobs=list(jobs))
+
+    async def drain(self) -> Dict[str, object]:
+        return await self.request("drain")
+
+    async def status(self) -> Dict[str, object]:
+        return await self.request("status")
+
+    async def metrics(self) -> Dict[str, object]:
+        return await self.request("metrics")
+
+    async def whatif(
+        self, overrides: Mapping[str, object]
+    ) -> Dict[str, object]:
+        return await self.request("whatif", overrides=dict(overrides))
+
+    async def result(self) -> Dict[str, object]:
+        return await self.request("result")
+
+    async def shutdown(self) -> Dict[str, object]:
+        return await self.request("shutdown")

@@ -12,7 +12,7 @@ class TestParser:
         assert set(sub.choices) == {
             "generate", "run", "compare", "figures", "tables", "policies",
             "analyze", "export", "sweep", "scenarios", "paper", "trace",
-            "matrix", "cache",
+            "matrix", "cache", "serve",
         }
 
     def test_run_rejects_unknown_policy(self):

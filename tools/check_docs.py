@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Docs-consistency checks (run by the CI `docs` job and usable locally).
 
-Seven checks:
+Eight checks:
 
 1. **Scenario catalog** — every scenario registered in
    ``repro.scenarios`` must appear (as `` `name` ``) in
@@ -29,6 +29,10 @@ Seven checks:
    the resume/cache-maintenance entry points, and docs/ARCHITECTURE.md
    must carry a Robustness section, so the fault-plan contract cannot
    drift.
+8. **Service docs** — docs/SERVICE.md must document every protocol op
+   the server dispatches (as `` `op` ``), the backpressure and what-if
+   mechanisms, and the serve entry points, and docs/ARCHITECTURE.md
+   must carry an API section, so the wire protocol cannot drift.
 
 Exit status 0 = consistent; 1 = problems (all listed on stderr).
 
@@ -208,11 +212,33 @@ def check_robustness_docs() -> list[str]:
     return problems
 
 
+def check_service_docs() -> list[str]:
+    doc_path = ROOT / "docs" / "SERVICE.md"
+    if not doc_path.is_file():
+        return ["missing docs/SERVICE.md"]
+    doc = doc_path.read_text()
+    server_src = ROOT / "src" / "repro" / "service" / "server.py"
+    ops = sorted(set(re.findall(r'if op == "(\w+)"', server_src.read_text())))
+    problems = [
+        f"docs/SERVICE.md: protocol op `{op}` is not documented"
+        for op in ops
+        if f"`{op}`" not in doc
+    ]
+    for needle in ("repro serve", "Backpressure", "What-if", "max_pending",
+                   "merged_workload", "open_session"):
+        if needle not in doc:
+            problems.append(f"docs/SERVICE.md: does not mention `{needle}`")
+    arch = ROOT / "docs" / "ARCHITECTURE.md"
+    if not arch.is_file() or "## API" not in arch.read_text():
+        problems.append("docs/ARCHITECTURE.md: missing a '## API' section")
+    return problems
+
+
 def main() -> int:
     problems = (check_scenario_catalog() + check_links()
                 + check_performance_docs() + check_pipeline_docs()
                 + check_observability_docs() + check_scheduler_docs()
-                + check_robustness_docs())
+                + check_robustness_docs() + check_service_docs())
     for p in problems:
         print(f"[check-docs] {p}", file=sys.stderr)
     if problems:

@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""CI smoke for the scheduler service (the `service-smoke` job).
+
+End to end, against a real server process:
+
+1. launch ``repro serve`` on an ephemeral port and parse the announced
+   address from stdout;
+2. stream a calibrated trace through three concurrent tenants, polling
+   live metrics mid-flight;
+3. ask one warm what-if and check it inherited completed history;
+4. drain everyone, fetch the final result, and verify the digest and
+   per-user metrics are byte-identical to an offline batch run of the
+   merged trace;
+5. shut the server down cleanly and require exit status 0.
+
+Usage::
+
+    python tools/service_smoke.py           # from the repository root
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import queue
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro import api  # noqa: E402
+from repro.service import ServiceClient, merged_workload  # noqa: E402
+from repro.workload.generator import (  # noqa: E402
+    GeneratorConfig,
+    generate_cplant_workload,
+)
+
+POLICY = "easy.fairshare"
+SCALE, SEED, TENANTS = 0.02, 4, 3
+STARTUP_TIMEOUT = 30.0
+
+
+def start_server(system_size: int) -> tuple[subprocess.Popen, str, int]:
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--policy", POLICY, "--system-size", str(system_size),
+         "--max-pending", "64"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        cwd=ROOT,
+        env={**os.environ, "PYTHONPATH": str(ROOT / "src")},
+    )
+    lines: queue.Queue[str] = queue.Queue()
+    threading.Thread(
+        target=lambda: [lines.put(ln) for ln in proc.stdout],  # type: ignore[union-attr]
+        daemon=True,
+    ).start()
+    deadline = time.monotonic() + STARTUP_TIMEOUT
+    while time.monotonic() < deadline:
+        try:
+            line = lines.get(timeout=0.5)
+        except queue.Empty:
+            if proc.poll() is not None:
+                raise SystemExit(f"server died during startup (rc={proc.returncode})")
+            continue
+        print(line, end="")
+        if "[repro-serve] listening on " in line:
+            addr = line.split("listening on ", 1)[1].split()[0]
+            host, port = addr.rsplit(":", 1)
+            return proc, host, int(port)
+    proc.kill()
+    raise SystemExit("server did not announce a port in time")
+
+
+async def tenant(host: str, port: int, name: str, jobs: list) -> None:
+    async with await ServiceClient.connect(host, port) as c:
+        await c.hello(name)
+        for i in range(0, len(jobs), 7):
+            await c.submit(jobs[i:i + 7])
+            await asyncio.sleep(0)
+        await c.drain()
+
+
+async def drive(host: str, port: int, streams: dict) -> dict:
+    # tenants stream concurrently while a control connection watches
+    feeders = [asyncio.create_task(tenant(host, port, n, j))
+               for n, j in streams.items()]
+    async with await ServiceClient.connect(host, port) as ctl:
+        polls = 0
+        while not all(f.done() for f in feeders):
+            snap = await ctl.metrics()
+            polls += 1
+            await asyncio.sleep(0.05)
+        await asyncio.gather(*feeders)
+        snap = await ctl.metrics()
+        print(f"[smoke] {polls} metric polls; engine at t={snap['now']:.0f}, "
+              f"{snap['jobs_completed']} completed")
+        assert snap["jobs_submitted"] == sum(map(len, streams.values()))
+
+        whatif = await ctl.whatif({"decay_factor": 0.5})
+        assert whatif["events_inherited"] == snap["events_processed"], \
+            "what-if did not start from warm state"
+        assert whatif["baseline"]["events_simulated"] >= 0
+        print(f"[smoke] what-if inherited {whatif['events_inherited']} events, "
+              f"simulated {whatif['variant']['events_simulated']} forward")
+
+        result = await ctl.result()
+        await ctl.shutdown()
+        return result
+
+
+def main() -> int:
+    wl = generate_cplant_workload(GeneratorConfig(scale=SCALE), seed=SEED)
+    streams: dict = {}
+    for j in wl.jobs:
+        streams.setdefault(f"tenant-{j.user_id % TENANTS}", []).append(
+            {"at": j.submit_time, "nodes": j.nodes, "runtime": j.runtime,
+             "wcl": j.wcl, "user": j.user_id})
+    print(f"[smoke] {len(wl.jobs)} jobs across {len(streams)} tenants")
+
+    proc, host, port = start_server(wl.system_size)
+    try:
+        result = asyncio.run(drive(host, port, streams))
+        rc = proc.wait(timeout=STARTUP_TIMEOUT)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    if rc != 0:
+        print(f"[smoke] FAIL: server exited with {rc}", file=sys.stderr)
+        return 1
+
+    offline = api.run(policy=POLICY,
+                      workload=merged_workload(streams, wl.system_size))
+    live = api.open_session(policy=POLICY,
+                            workload=merged_workload(streams, wl.system_size))
+    ref = live.finish()
+    if result["digest"] != offline.digest():
+        print("[smoke] FAIL: served digest != offline batch digest",
+              file=sys.stderr)
+        return 1
+    served = json.dumps(result["per_user"], sort_keys=True)
+    batch = json.dumps(live.per_user_metrics(ref.metric_jobs), sort_keys=True)
+    if served != batch:
+        print("[smoke] FAIL: per-user metrics differ from the batch run",
+              file=sys.stderr)
+        return 1
+    print(f"[smoke] OK: digest {result['digest'][:12]}... matches offline, "
+          f"per-user metrics byte-identical, clean shutdown")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
